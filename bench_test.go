@@ -1,0 +1,371 @@
+// Benchmarks regenerating the paper's evaluation on today's hardware, one
+// per table/figure (see EXPERIMENTS.md for the mapping), plus ablations
+// of the design choices called out in DESIGN.md.
+package paccel_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paccel/internal/core"
+	"paccel/internal/evsim"
+	"paccel/internal/experiments"
+	"paccel/internal/group"
+	"paccel/internal/layers"
+	"paccel/internal/netsim"
+	"paccel/internal/rpc"
+	"paccel/internal/vclock"
+)
+
+// pingPongBench runs closed-loop round trips, the Table 4 "#roundtrips/
+// sec" and "one-way latency" rows.
+func pingPongBench(b *testing.B, opt experiments.PairOptions, payload int) {
+	b.Helper()
+	p, err := experiments.NewPair(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.B.OnDeliver(func(data []byte) {
+		if err := p.B.Send(data); err != nil {
+			b.Error(err)
+		}
+	})
+	done := make(chan struct{}, 1)
+	p.A.OnDeliver(func([]byte) { done <- struct{}{} })
+	buf := make([]byte, payload)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.A.Send(buf); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/2000, "oneway-µs")
+	b.ReportMetric(1e9/perOp, "rt/s")
+}
+
+// BenchmarkRoundTrip is Table 4 rows 1 and 3 on the Go implementation:
+// accelerated 8-byte round trips over the in-memory network.
+func BenchmarkRoundTrip(b *testing.B) {
+	pingPongBench(b, experiments.PairOptions{}, 8)
+}
+
+// BenchmarkRoundTripCompiledFilters is the Exokernel-style ablation
+// (§3.3): packet filters lowered to closures instead of interpreted.
+func BenchmarkRoundTripCompiledFilters(b *testing.B) {
+	pingPongBench(b, experiments.PairOptions{CompiledFilters: true}, 8)
+}
+
+// BenchmarkRoundTripDoubledWindow is the §5 layer-doubling experiment:
+// the window layer stacked twice.
+func BenchmarkRoundTripDoubledWindow(b *testing.B) {
+	pingPongBench(b, experiments.PairOptions{Build: experiments.DoubledWindowStack}, 8)
+}
+
+// BenchmarkRoundTripBaseline is the §1 comparison: the same four layers
+// run traditionally (synchronous layered processing, per-layer padded
+// headers, identification on every message).
+func BenchmarkRoundTripBaseline(b *testing.B) {
+	p, err := experiments.NewBaselinePair(netsim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.B.OnDeliver(func(data []byte) {
+		if err := p.B.Send(data); err != nil {
+			b.Error(err)
+		}
+	})
+	done := make(chan struct{}, 1)
+	p.A.OnDeliver(func([]byte) { done <- struct{}{} })
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.A.Send(buf); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(1e9/perOp, "rt/s")
+}
+
+// streamBench is Table 4 rows 2 and 4: one-way throughput.
+func streamBench(b *testing.B, payload int) {
+	b.Helper()
+	p, err := experiments.NewPair(experiments.PairOptions{
+		NetConfig: netsim.Config{MTU: 64 << 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.SetBytes(int64(payload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	msgs, _, err := p.StreamOneWay(b.N, make([]byte, payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(msgs, "msgs/s")
+}
+
+// BenchmarkStreamThroughput8B is Table 4 row 2 (paper: 80,000 msgs/s).
+func BenchmarkStreamThroughput8B(b *testing.B) { streamBench(b, 8) }
+
+// BenchmarkBandwidth1K is Table 4 row 4 (paper: 15 MB/s).
+func BenchmarkBandwidth1K(b *testing.B) { streamBench(b, 1024) }
+
+// BenchmarkTable4Sim regenerates the whole of Table 4 on the calibrated
+// 1996 testbed model.
+func BenchmarkTable4Sim(b *testing.B) {
+	var t4 evsim.Table4
+	for i := 0; i < b.N; i++ {
+		t4 = evsim.ComputeTable4(evsim.PaperCosts())
+	}
+	b.ReportMetric(float64(t4.OneWayLatency.Microseconds()), "sim-oneway-µs")
+	b.ReportMetric(t4.MsgsPerSec, "sim-msgs/s")
+	b.ReportMetric(t4.RoundTripsSec, "sim-rt/s")
+	b.ReportMetric(t4.BandwidthMBs, "sim-MB/s")
+}
+
+// BenchmarkFig4Breakdown regenerates the Figure 4 round-trip timeline.
+func BenchmarkFig4Breakdown(b *testing.B) {
+	var rtt time.Duration
+	for i := 0; i < b.N; i++ {
+		_, res := evsim.FirstRoundTripTimeline(evsim.PaperCosts())
+		rtt = res.FirstRTT
+	}
+	b.ReportMetric(float64(rtt.Microseconds()), "sim-rtt-µs")
+}
+
+// BenchmarkFig5Sweep regenerates the Figure 5 latency-vs-rate curves and
+// reports the two saturation points (paper: ~1900 rt/s with GC after each
+// receive, ~6000 rt/s with occasional GC).
+func BenchmarkFig5Sweep(b *testing.B) {
+	var gcRate, occRate float64
+	for i := 0; i < b.N; i++ {
+		gcRate, _ = evsim.MaxRoundTripRate(evsim.PaperCosts(), 800)
+		noGC := evsim.PaperCosts()
+		noGC.GCEveryReceive = false
+		occRate, _ = evsim.MaxRoundTripRate(noGC, 800)
+	}
+	b.ReportMetric(gcRate, "sim-rt/s-gc")
+	b.ReportMetric(occRate, "sim-rt/s-occ")
+}
+
+// BenchmarkLayerScalingSim reports the §5 layer-doubling saturation cost
+// on the model.
+func BenchmarkLayerScalingSim(b *testing.B) {
+	var base, doubled float64
+	for i := 0; i < b.N; i++ {
+		cm := evsim.PaperCosts()
+		base, _ = evsim.MaxRoundTripRate(cm, 600)
+		cm.ExtraLayers = 1
+		doubled, _ = evsim.MaxRoundTripRate(cm, 600)
+	}
+	b.ReportMetric(base, "rt/s-4layer")
+	b.ReportMetric(doubled, "rt/s-5layer")
+}
+
+// BenchmarkUnacceleratedSim reports the original-Horus model round trip
+// (paper: ~1.5 ms vs the PA's 170 µs).
+func BenchmarkUnacceleratedSim(b *testing.B) {
+	um := evsim.PaperUnaccelerated()
+	var rtt time.Duration
+	for i := 0; i < b.N; i++ {
+		rtt = um.RoundTrip(8)
+	}
+	b.ReportMetric(float64(rtt.Microseconds()), "sim-rtt-µs")
+}
+
+// BenchmarkSendOneWay measures a single accelerated Send (delivery
+// inline on the synchronous network), the finest-grained critical path.
+func BenchmarkSendOneWay(b *testing.B) {
+	p, err := experiments.NewPair(experiments.PairOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.B.OnDeliver(func([]byte) {})
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := p.A.Send(buf)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, core.ErrBacklogFull) {
+				time.Sleep(5 * time.Microsecond) // window backpressure
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupFIFOMulticast measures one FIFO multicast (send + local
+// delivery + fan-out to 3 peers) — the paper's multicast extension.
+func BenchmarkGroupFIFOMulticast(b *testing.B) {
+	m, err := group.NewRealMesh([]string{"a", "b", "c", "d"}, netsim.Config{}, group.FIFO, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := m.Groups["a"].Send(payload)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, core.ErrBacklogFull) {
+				time.Sleep(5 * time.Microsecond) // window backpressure
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupTotalOrder measures one sequenced multicast through the
+// sequencer (send → sequencer → ordered fan-out).
+func BenchmarkGroupTotalOrder(b *testing.B) {
+	m, err := group.NewRealMesh([]string{"seq", "b", "c", "d"}, netsim.Config{}, group.Total, "seq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	delivered := make(chan struct{}, 1)
+	m.Groups["b"].OnDeliver(func(string, []byte) { delivered <- struct{}{} })
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Groups["b"].Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		<-delivered // own message back at the sequenced position
+	}
+}
+
+// BenchmarkServerLoadSim runs the §6 Maximum Load analysis.
+func BenchmarkServerLoadSim(b *testing.B) {
+	cm := evsim.PaperCosts()
+	cm.GCEveryReceive = false
+	var r evsim.ServerLoadResult
+	for i := 0; i < b.N; i++ {
+		r = evsim.ServerLoad(evsim.ServerLoadConfig{Model: cm, Clients: 64, Processors: 4})
+	}
+	b.ReportMetric(r.ServerCap, "sim-rpc/s-4cpu")
+}
+
+// BenchmarkMultiClientServer measures a server fanning 4 concurrent
+// clients (§6), the real-mode companion to BenchmarkServerLoadSim.
+func BenchmarkMultiClientServer(b *testing.B) {
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	server, err := core.NewEndpoint(core.Config{
+		Transport: net.Endpoint("server"),
+		Accept: func(remote layers.IdentInfo, netSrc string) (core.PeerSpec, bool) {
+			return core.PeerSpec{
+				Addr:      netSrc,
+				LocalID:   bytes.TrimRight(remote.Dst, "\x00"),
+				RemoteID:  bytes.TrimRight(remote.Src, "\x00"),
+				LocalPort: remote.DstPort, RemotePort: remote.SrcPort,
+				Epoch: remote.Epoch,
+			}, true
+		},
+		OnConn: func(c *core.Conn) {
+			c.OnDeliver(func(req []byte) {
+				if err := c.Send(req); err != nil {
+					b.Error(err)
+				}
+			})
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+
+	const clients = 4
+	type cli struct {
+		conn *core.Conn
+		done chan struct{}
+	}
+	cs := make([]cli, clients)
+	for i := range cs {
+		host := fmt.Sprintf("c%d", i)
+		ep, err := core.NewEndpoint(core.Config{Transport: net.Endpoint(host)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ep.Close()
+		conn, err := ep.Dial(core.PeerSpec{
+			Addr: "server", LocalID: []byte(host), RemoteID: []byte("srv"),
+			LocalPort: uint16(i + 10), RemotePort: 1, Epoch: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{}, 1)
+		conn.OnDeliver(func([]byte) { done <- struct{}{} })
+		cs[i] = cli{conn: conn, done: done}
+	}
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine grabs one client slot round-robin.
+		i := int(rrCounter.Add(1)) % clients
+		c := cs[i]
+		for pb.Next() {
+			if err := c.conn.Send(payload); err != nil {
+				b.Error(err)
+				return
+			}
+			<-c.done
+		}
+	})
+}
+
+var rrCounter atomic.Int64
+
+// BenchmarkRPC measures one correlated request/response call over an
+// accelerated connection (the §6 workload, via the rpc package).
+func BenchmarkRPC(b *testing.B) {
+	p, err := experiments.NewPair(experiments.PairOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	rpc.Serve(p.B, func(req []byte) []byte { return req })
+	client := rpc.NewClient(p.A)
+	defer client.Close()
+	req := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.CallTimeout(req, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(1e9/perOp, "rpc/s")
+}

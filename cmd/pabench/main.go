@@ -1,0 +1,103 @@
+// Command pabench regenerates every table and figure from the paper's
+// evaluation section (§5): Table 4, Figure 4, Figure 5, the §5 layer-
+// doubling experiment, the §2 header-overhead comparison, and the §1
+// PA-vs-traditional-layering comparison.
+//
+// Each experiment prints the paper's published values next to the
+// reproduced ones. "sim" rows come from the calibrated discrete-event
+// model of the 1996 testbed; "real" rows are measured on the Go
+// implementation over the in-memory network.
+//
+// Usage:
+//
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline] [-quick] [-sim-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paccel/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups")
+	quick := flag.Bool("quick", false, "use short real-measurement runs")
+	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
+	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+
+	if run("table4") {
+		any = true
+		fmt.Println(experiments.Table4Sim())
+		if !*simOnly {
+			out, err := experiments.Table4Real(*quick)
+			fail(err)
+			fmt.Println(out)
+		}
+	}
+	if run("fig4") {
+		any = true
+		fmt.Println(experiments.Fig4())
+	}
+	if run("fig5") {
+		any = true
+		n := 2000
+		if *quick {
+			n = 400
+		}
+		if *csv {
+			fmt.Print(experiments.Fig5CSV(n))
+		} else {
+			fmt.Println(experiments.Fig5(n))
+		}
+	}
+	if run("layers") {
+		any = true
+		fmt.Println(experiments.LayersSim())
+		if !*simOnly {
+			out, err := experiments.LayersReal(*quick)
+			fail(err)
+			fmt.Println(out)
+		}
+	}
+	if run("headers") {
+		any = true
+		out, err := experiments.Headers()
+		fail(err)
+		fmt.Println(out)
+	}
+	if run("baseline") {
+		any = true
+		fmt.Println(experiments.BaselineSim())
+		if !*simOnly {
+			out, err := experiments.BaselineReal(*quick)
+			fail(err)
+			fmt.Println(out)
+		}
+	}
+	if run("serverload") {
+		any = true
+		fmt.Println(experiments.ServerLoad())
+	}
+	if run("hiccups") {
+		any = true
+		fmt.Println(experiments.Hiccups())
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pabench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command paping runs accelerated round trips between two real OS
+// processes over UDP — the cross-process analogue of the paper's
+// SparcStation pair.
+//
+// Server:  paping -listen 127.0.0.1:7000
+// Client:  paping -connect 127.0.0.1:7000 -n 10000 -size 8
+//
+// The server accepts any identified connection and echoes every message;
+// the client reports the round-trip latency distribution, the Table 4
+// rows of this transport, and the PA's fast-path statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"paccel"
+	"paccel/internal/stats"
+)
+
+func main() {
+	listen := flag.String("listen", "", "run as echo server on this UDP address")
+	connect := flag.String("connect", "", "run as client against this server address")
+	n := flag.Int("n", 10000, "round trips to measure")
+	size := flag.Int("size", 8, "payload bytes (paper: 8)")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		server(*listen)
+	case *connect != "":
+		client(*connect, *n, *size)
+	default:
+		fmt.Fprintln(os.Stderr, "need -listen or -connect")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func server(addr string) {
+	tr, err := paccel.ListenUDP(addr)
+	fail(err)
+	ep, err := paccel.NewEndpoint(paccel.Config{
+		Transport: tr,
+		Accept: func(remote paccel.IdentInfo, netSrc string) (paccel.PeerSpec, bool) {
+			fmt.Printf("accepting connection from %s (%s)\n", netSrc, trimZero(remote.Src))
+			return paccel.PeerSpec{
+				Addr:      netSrc,
+				LocalID:   trimZero(remote.Dst),
+				RemoteID:  trimZero(remote.Src),
+				LocalPort: remote.DstPort, RemotePort: remote.SrcPort,
+				Epoch: remote.Epoch,
+			}, true
+		},
+		OnConn: func(c *paccel.Conn) {
+			c.OnDeliver(func(p []byte) {
+				if err := c.Send(p); err != nil {
+					fmt.Fprintln(os.Stderr, "echo:", err)
+				}
+			})
+		},
+	})
+	fail(err)
+	defer ep.Close()
+	fmt.Printf("echo server on %s\n", tr.LocalAddr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func client(addr string, n, size int) {
+	tr, err := paccel.ListenUDP("127.0.0.1:0")
+	fail(err)
+	ep, err := paccel.NewEndpoint(paccel.Config{Transport: tr})
+	fail(err)
+	defer ep.Close()
+	conn, err := ep.Dial(paccel.PeerSpec{
+		Addr:    addr,
+		LocalID: []byte("paping-client"), RemoteID: []byte("paping-server"),
+		LocalPort: 1, RemotePort: 2,
+		Epoch: uint32(time.Now().Unix()),
+	})
+	fail(err)
+
+	done := make(chan struct{}, 1)
+	conn.OnDeliver(func([]byte) { done <- struct{}{} })
+	payload := make([]byte, size)
+
+	var sample stats.Sample
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fail(conn.Send(payload))
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			fail(fmt.Errorf("timeout at round trip %d", i))
+		}
+		sample.Add(time.Since(start))
+	}
+	fmt.Printf("%d round trips, %d-byte payload over UDP\n", n, size)
+	fmt.Printf("  rtt: mean %v  p50 %v  p99 %v  max %v\n",
+		sample.Mean(), sample.Percentile(50), sample.Percentile(99), sample.Max())
+	fmt.Printf("  one-way (rtt/2): %v;  round-trips/sec: %.0f\n",
+		sample.Mean()/2, stats.Rate(sample.Mean()))
+	st := conn.Stats()
+	fmt.Printf("  fast sends: %d/%d;  conn-ident sent: %d times\n",
+		st.FastSends, st.Sent, st.ConnIDSent)
+}
+
+func trimZero(b []byte) []byte {
+	i := len(b)
+	for i > 0 && b[i-1] == 0 {
+		i--
+	}
+	return b[:i]
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paping:", err)
+		os.Exit(1)
+	}
+}

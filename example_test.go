@@ -1,0 +1,69 @@
+package paccel_test
+
+import (
+	"fmt"
+
+	"paccel"
+)
+
+// Example shows the basic accelerated exchange: dial both ends over an
+// in-memory network and send.
+func Example() {
+	net := paccel.NewSimNetwork(paccel.SimConfig{})
+	alice, _ := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("A")})
+	defer alice.Close()
+	bob, _ := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("B")})
+	defer bob.Close()
+
+	a, _ := alice.Dial(paccel.PeerSpec{
+		Addr: "B", LocalID: []byte("alice"), RemoteID: []byte("bob"),
+		LocalPort: 1, RemotePort: 2,
+	})
+	b, _ := bob.Dial(paccel.PeerSpec{
+		Addr: "A", LocalID: []byte("bob"), RemoteID: []byte("alice"),
+		LocalPort: 2, RemotePort: 1,
+	})
+
+	done := make(chan struct{})
+	b.OnDeliver(func(p []byte) {
+		fmt.Printf("bob got %q\n", p)
+		close(done)
+	})
+	a.Send([]byte("hello"))
+	<-done
+	// Output: bob got "hello"
+}
+
+// ExampleNewRPCClient demonstrates correlated request/response calls.
+func ExampleNewRPCClient() {
+	net := paccel.NewSimNetwork(paccel.SimConfig{})
+	cliEP, _ := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("C")})
+	defer cliEP.Close()
+	srvEP, _ := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("S")})
+	defer srvEP.Close()
+	cli, _ := cliEP.Dial(paccel.PeerSpec{Addr: "S", LocalID: []byte("c"), RemoteID: []byte("s"), LocalPort: 1, RemotePort: 2})
+	srv, _ := srvEP.Dial(paccel.PeerSpec{Addr: "C", LocalID: []byte("s"), RemoteID: []byte("c"), LocalPort: 2, RemotePort: 1})
+
+	paccel.ServeRPC(srv, func(req []byte) []byte {
+		return append([]byte("echo "), req...)
+	})
+	client := paccel.NewRPCClient(cli)
+	defer client.Close()
+	resp, _ := client.Call([]byte("42"))
+	fmt.Printf("%s\n", resp)
+	// Output: echo 42
+}
+
+// ExampleNewGroupMesh demonstrates totally-ordered multicast.
+func ExampleNewGroupMesh() {
+	mesh, _ := paccel.NewGroupMesh([]string{"a", "b"}, paccel.SimConfig{}, paccel.GroupTotal, "a")
+	defer mesh.Close()
+	done := make(chan struct{})
+	mesh.Groups["b"].OnDeliver(func(origin string, p []byte) {
+		fmt.Printf("%s said %q\n", origin, p)
+		close(done)
+	})
+	mesh.Groups["a"].Send([]byte("ordered"))
+	<-done
+	// Output: a said "ordered"
+}

@@ -1,0 +1,68 @@
+// Quickstart: two Protocol Accelerator endpoints exchange messages over
+// an in-memory network, showing the fast path engaging after the first
+// (identification-carrying) message.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paccel"
+)
+
+func main() {
+	// An in-memory unreliable datagram network — the U-Net stand-in.
+	net := paccel.NewSimNetwork(paccel.SimConfig{})
+
+	// One endpoint per host; each owns a transport attachment.
+	alice, err := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("alice-host")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("bob-host")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	// Both sides dial with mirrored connection identifications. The
+	// default stack is the paper's: checksum, fragmentation, 16-entry
+	// sliding window, identification (76 bytes — sent only once).
+	a2b, err := alice.Dial(paccel.PeerSpec{
+		Addr: "bob-host", LocalID: []byte("alice"), RemoteID: []byte("bob"),
+		LocalPort: 1, RemotePort: 2, Epoch: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b2a, err := bob.Dial(paccel.PeerSpec{
+		Addr: "alice-host", LocalID: []byte("bob"), RemoteID: []byte("alice"),
+		LocalPort: 2, RemotePort: 1, Epoch: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b2a.OnDeliver(func(p []byte) {
+		fmt.Printf("bob got:   %q\n", p)
+		if err := b2a.Send(append([]byte("re: "), p...)); err != nil {
+			log.Fatal(err)
+		}
+	})
+	a2b.OnDeliver(func(p []byte) {
+		fmt.Printf("alice got: %q\n", p)
+	})
+
+	for _, msg := range []string{"hello", "protocol", "accelerator"} {
+		if err := a2b.Send([]byte(msg)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := a2b.Stats()
+	fmt.Printf("\nalice→bob: %d sends, %d on the fast path, identification sent %d time(s)\n",
+		st.Sent, st.FastSends, st.ConnIDSent)
+	fmt.Printf("normal message overhead: %d bytes of headers + 8-byte preamble (paper bound: 40)\n",
+		a2b.Schema().TotalSize()+1)
+}

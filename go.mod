@@ -1,0 +1,3 @@
+module paccel
+
+go 1.22

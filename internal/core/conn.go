@@ -1,0 +1,853 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paccel/internal/bits"
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+	"paccel/internal/vclock"
+)
+
+// Errors returned by Conn operations.
+var (
+	ErrConnClosed  = errors.New("core: connection closed")
+	ErrBacklogFull = errors.New("core: send backlog full")
+	ErrSendFailed  = errors.New("core: send rejected by packet filter")
+)
+
+// sideState is the per-direction PA state of Table 3: operation mode, the
+// predicted headers, the prediction disable counter, the packet filter,
+// and (send side) the backlog of messages awaiting processing.
+type sideState struct {
+	mode    Mode
+	predict [header.NumClasses][]byte
+	disable int
+	prog    *filter.Program
+	comp    *filter.Compiled
+	backlog []*message.Msg
+	pending []func() // deferred post-processing, FIFO
+}
+
+// runFilter executes the side's packet filter, compiled if available.
+func (s *sideState) runFilter(env *filter.Env) int {
+	if s.comp != nil {
+		return s.comp.Run(env)
+	}
+	return s.prog.Run(env)
+}
+
+// appOut is one application delivery waiting for its callback. Payloads
+// are copied into the connection's scratch buffer (appBuf) so that
+// post-processing may free the wire message independently; entries store
+// offsets because appBuf may be reallocated by later appends.
+type appOut struct {
+	off, n int
+}
+
+// Conn is one Protocol Accelerator: the engine of the paper's Figure 3,
+// instantiated per connection.
+type Conn struct {
+	ep   *Endpoint
+	spec PeerSpec
+
+	mu sync.Mutex
+
+	st     *stack.Stack
+	schema *header.Schema
+	ident  Identifier
+
+	order                    bits.ByteOrder
+	protoN, msgN, gosN, cidN int
+
+	outCookie  uint64
+	needConnID bool // next outgoing message carries the identification
+
+	send sideState
+	recv sideState
+
+	deliverQ []releaseItem
+	appQ     []appOut
+	appBuf   []byte // scratch backing the queued payload copies
+
+	txq    [][]byte
+	txBusy atomic.Bool
+
+	onDeliver func(payload []byte)
+	closed    bool
+	settling  bool
+	stats     ConnStats
+
+	// idleCh wakes the optional background drainer (LazyPost+IdleDrain).
+	idleCh chan struct{}
+}
+
+type releaseItem struct {
+	from stack.Layer
+	m    *message.Msg
+}
+
+// newConn wires up a connection: builds the stack, compiles the schema and
+// filters, allocates prediction buffers, and primes the layers.
+func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
+	ls, err := ep.cfg.build()(spec, ep.cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	st, err := stack.NewStack(ls...)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{ep: ep, spec: spec, st: st, order: ep.cfg.Order}
+	for _, l := range ls {
+		if id, ok := l.(Identifier); ok {
+			c.ident = id
+		}
+	}
+	if c.ident == nil {
+		return nil, fmt.Errorf("core: stack has no identification layer")
+	}
+
+	c.schema = header.New()
+	sb, rb := filter.NewBuilder(), filter.NewBuilder()
+	if err := st.Init(&stack.InitContext{Schema: c.schema, SendFilter: sb, RecvFilter: rb}); err != nil {
+		return nil, err
+	}
+	if err := c.schema.Compile(); err != nil {
+		return nil, err
+	}
+	if c.send.prog, err = sb.Build(); err != nil {
+		return nil, fmt.Errorf("core: send filter: %w", err)
+	}
+	if c.recv.prog, err = rb.Build(); err != nil {
+		return nil, fmt.Errorf("core: recv filter: %w", err)
+	}
+	if ep.cfg.CompiledFilters {
+		c.send.comp = c.send.prog.Compile()
+		c.recv.comp = c.recv.prog.Compile()
+	}
+	c.protoN = c.schema.Size(header.ProtoSpec)
+	c.msgN = c.schema.Size(header.MsgSpec)
+	c.gosN = c.schema.Size(header.Gossip)
+	c.cidN = c.schema.Size(header.ConnID)
+
+	for cl := header.Class(0); cl < header.NumClasses; cl++ {
+		c.send.predict[cl] = make([]byte, c.schema.Size(cl))
+		c.recv.predict[cl] = make([]byte, c.schema.Size(cl))
+	}
+
+	c.outCookie = spec.OutCookie
+	if c.outCookie == 0 {
+		if c.outCookie, err = NewCookie(); err != nil {
+			return nil, err
+		}
+	}
+	c.needConnID = !spec.SkipFirstConnID
+
+	ctx := c.ctx(nil)
+	st.Prime(ctx)
+
+	if ep.cfg.LazyPost && ep.cfg.IdleDrain {
+		c.idleCh = make(chan struct{}, 1)
+		go c.idleDrainer()
+	}
+	return c, nil
+}
+
+// idleDrainer runs pending post-processing in the background — the
+// paper's "when the application is idle or blocked" (§1). It is woken
+// after operations that leave lazy work queued.
+func (c *Conn) idleDrainer() {
+	for range c.idleCh {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.drain(&c.recv)
+		c.drain(&c.send)
+		c.settle()
+		c.mu.Unlock()
+		c.flushTx()
+	}
+}
+
+// wakeIdle nudges the background drainer if one exists and work is
+// pending. Caller holds c.mu.
+func (c *Conn) wakeIdle() {
+	if c.idleCh == nil || (len(c.recv.pending) == 0 && len(c.send.pending) == 0) {
+		return
+	}
+	select {
+	case c.idleCh <- struct{}{}:
+	default:
+	}
+}
+
+// ctx builds a phase context around the (possibly nil) message env.
+func (c *Conn) ctx(env *filter.Env) *stack.Context {
+	return &stack.Context{
+		Env:         env,
+		Order:       c.order,
+		PredictSend: c.send.predict,
+		PredictRecv: c.recv.predict,
+		S:           c,
+	}
+}
+
+// Spec returns the connection's peer specification.
+func (c *Conn) Spec() PeerSpec { return c.spec }
+
+// Schema exposes the compiled header schema (for reports).
+func (c *Conn) Schema() *header.Schema { return c.schema }
+
+// Stack exposes the protocol stack (for tests and introspection).
+func (c *Conn) Stack() *stack.Stack { return c.st }
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Modes returns the Table 3 operation modes of the two sides.
+func (c *Conn) Modes() (send, recv Mode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.send.mode, c.recv.mode
+}
+
+// OnDeliver installs the application delivery callback. The payload slice
+// is only valid during the callback. The callback runs without the
+// connection lock, so it may call Send.
+func (c *Conn) OnDeliver(fn func(payload []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDeliver = fn
+}
+
+// Send transmits an application message — the paper's send() (Fig. 3).
+// If prediction is disabled (window full), the message joins the backlog
+// and is packed with its neighbours once the window reopens (§3.4).
+func (c *Conn) Send(payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrConnClosed
+	}
+	c.drain(&c.send) // §3.1: post-sending completes before the next send
+	if c.send.disable > 0 {
+		if len(c.send.backlog) >= c.ep.cfg.maxBacklog() {
+			c.mu.Unlock()
+			return ErrBacklogFull
+		}
+		c.stats.Sent++
+		c.send.backlog = append(c.send.backlog, message.New(payload))
+		c.stats.Backlogged++
+		c.mu.Unlock()
+		return nil
+	}
+	c.stats.Sent++
+	err := c.sendMsg(message.New(payload), nil)
+	c.settle()
+	c.wakeIdle()
+	c.mu.Unlock()
+	c.flushTx()
+	return err
+}
+
+// sendMsg runs the send path for a message whose payload is final. sizes
+// is nil for a plain message or the packed sub-sizes. Caller holds c.mu.
+func (c *Conn) sendMsg(m *message.Msg, sizes []int) error {
+	c.send.mode = Pre
+	defer func() { c.send.mode = Idle }()
+
+	// Push the packing header and the class header regions (wire order:
+	// proto, msg, gossip, packing — push reversed).
+	m.PushBytes(encodePacking(nil, sizes))
+	gos := m.Push(c.gosN)
+	msgRegion := m.Push(c.msgN)
+	proto := m.Push(c.protoN)
+
+	// Fast path: copy the predicted headers over the regions, then let
+	// the send packet filter fill in the message-specific information.
+	copy(proto, c.send.predict[header.ProtoSpec])
+	copy(msgRegion, c.send.predict[header.MsgSpec])
+	copy(gos, c.send.predict[header.Gossip])
+
+	env := &filter.Env{Payload: m.Payload(), Order: c.order, Time: c.nowMicros()}
+	env.Hdr[header.ProtoSpec] = proto
+	env.Hdr[header.MsgSpec] = msgRegion
+	env.Hdr[header.Gossip] = gos
+
+	switch status := c.send.runFilter(env); {
+	case status == filter.StatusOK:
+		c.transmit(m)
+		c.stats.FastSends++
+		c.queuePostSend(m, env)
+		return nil
+	case status == filter.StatusDrop || status == filter.StatusFault:
+		m.Free()
+		c.stats.SendErrors++
+		return fmt.Errorf("%w (status %d)", ErrSendFailed, status)
+	default:
+		return c.sendSlow(m, env)
+	}
+}
+
+// sendSlow is the layered path: zero the header regions and let every
+// layer's pre-send build them.
+func (c *Conn) sendSlow(m *message.Msg, env *filter.Env) error {
+	clear(env.Hdr[header.ProtoSpec])
+	clear(env.Hdr[header.MsgSpec])
+	clear(env.Hdr[header.Gossip])
+	ctx := c.ctx(env)
+	v, _ := c.st.PreSend(ctx, m)
+	switch v {
+	case stack.Continue:
+		c.transmit(m)
+		c.stats.SlowSends++
+		c.queuePostSend(m, env)
+		return nil
+	case stack.Consume:
+		// A layer took over (fragmentation); the original is done.
+		c.stats.SlowSends++
+		m.Free()
+		return nil
+	default:
+		m.Free()
+		c.stats.SendErrors++
+		return ErrSendFailed
+	}
+}
+
+// queuePostSend schedules the send post-processing (§3.1, lazily).
+func (c *Conn) queuePostSend(m *message.Msg, env *filter.Env) {
+	c.send.pending = append(c.send.pending, func() {
+		c.send.mode = Post
+		c.st.PostSend(c.ctx(env), m)
+		c.send.mode = Idle
+		m.Free()
+	})
+}
+
+// transmit prepends the preamble (and connection identification when due)
+// and queues the wire image; flushTx sends it outside the lock. The
+// message's regions are restored afterwards.
+func (c *Conn) transmit(m *message.Msg) {
+	withCID := c.needConnID
+	c.transmitAs(m, withCID)
+	if withCID {
+		c.needConnID = false
+	}
+}
+
+func (c *Conn) transmitAs(m *message.Msg, withCID bool) {
+	if withCID {
+		m.PushBytes(c.send.predict[header.ConnID])
+		c.stats.ConnIDSent++
+	}
+	pre := Preamble{ConnIDPresent: withCID, Order: c.order, Cookie: c.outCookie}
+	pre.EncodeTo(m.Push(PreambleSize))
+	c.txq = append(c.txq, append([]byte(nil), m.Bytes()...))
+	if _, err := m.Pop(PreambleSize); err != nil {
+		panic("core: preamble pop: " + err.Error())
+	}
+	if withCID {
+		if _, err := m.Pop(c.cidN); err != nil {
+			panic("core: conn-ident pop: " + err.Error())
+		}
+	}
+}
+
+// flushTx drains the transmit queue outside the connection lock. It is
+// reentrancy-safe: a nested call (synchronous transport delivering a
+// reply) just leaves its datagrams for the active flusher.
+func (c *Conn) flushTx() {
+	for {
+		if !c.txBusy.CompareAndSwap(false, true) {
+			return
+		}
+		for {
+			c.mu.Lock()
+			q := c.txq
+			c.txq = nil
+			c.mu.Unlock()
+			if len(q) == 0 {
+				break
+			}
+			for _, d := range q {
+				if err := c.ep.cfg.Transport.Send(c.spec.Addr, d); err != nil {
+					c.mu.Lock()
+					c.stats.SendErrors++
+					c.mu.Unlock()
+				}
+			}
+		}
+		c.txBusy.Store(false)
+		c.mu.Lock()
+		again := len(c.txq) > 0
+		c.mu.Unlock()
+		if !again {
+			return
+		}
+	}
+}
+
+// deliverIncoming is the paper's from_network() (Fig. 3) past the router:
+// the preamble is already popped; cid is the identification region or nil.
+func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		m.Free()
+		return
+	}
+	c.drain(&c.recv) // §3.1: post-delivery completes before the next delivery
+	c.settle()       // finish releases unblocked by that post-processing
+
+	env, sizes, err := c.parseWire(m, cid, order)
+	if err != nil {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		m.Free()
+		return
+	}
+
+	if st := c.recv.runFilter(env); st != filter.StatusOK {
+		// The delivery filter checks message-specific correctness;
+		// failures drop the message (checksum mismatch).
+		c.stats.Dropped++
+		c.mu.Unlock()
+		m.Free()
+		return
+	}
+
+	fast := c.recv.disable == 0 &&
+		cid == nil &&
+		order == c.order &&
+		bytes.Equal(env.Hdr[header.ProtoSpec], c.recv.predict[header.ProtoSpec])
+
+	if fast {
+		c.stats.FastDelivers++
+		c.acceptDelivery(m, env, sizes, nil)
+	} else {
+		c.stats.SlowDelivers++
+		c.recv.mode = Pre
+		ctx := c.ctx(env)
+		v, at := c.st.PreDeliver(ctx, m)
+		c.recv.mode = Idle
+		switch v {
+		case stack.Continue:
+			c.acceptDelivery(m, env, sizes, nil)
+		case stack.Consume:
+			// The consuming layer owns m; layers below it accepted
+			// the message and still post-process it (§4).
+			c.stats.Consumed++
+			c.queuePostDeliverBelow(m, env, at, false)
+		default:
+			c.stats.Dropped++
+			c.queuePostDeliverBelow(m, env, at, true)
+		}
+	}
+	c.settle()
+	c.wakeIdle()
+	c.mu.Unlock()
+	c.flushTx()
+}
+
+// acceptDelivery queues the message's application payload(s) — unpacking
+// if packed (§3.4) — and schedules the delivery post-processing. from is
+// non-nil when re-entering above a releasing layer.
+func (c *Conn) acceptDelivery(m *message.Msg, env *filter.Env, sizes []int, from stack.Layer) {
+	if sizes == nil {
+		c.queueApp(env.Payload)
+	} else {
+		off := 0
+		for _, sz := range sizes {
+			c.queueApp(env.Payload[off : off+sz])
+			off += sz
+		}
+		c.stats.PackedMsgs += uint64(len(sizes))
+	}
+	c.recv.pending = append(c.recv.pending, func() {
+		c.recv.mode = Post
+		if from == nil {
+			c.st.PostDeliver(c.ctx(env), m)
+		} else {
+			c.st.PostDeliverAbove(c.ctx(env), m, from)
+		}
+		c.recv.mode = Idle
+		m.Free()
+	})
+}
+
+// queuePostDeliverBelow schedules post-processing of the layers below the
+// layer that issued a Consume or Drop verdict. For dropped messages the
+// engine still owns m and frees it afterwards.
+func (c *Conn) queuePostDeliverBelow(m *message.Msg, env *filter.Env, at int, freeAfter bool) {
+	c.recv.pending = append(c.recv.pending, func() {
+		c.recv.mode = Post
+		c.st.PostDeliverBelow(c.ctx(env), m, at)
+		c.recv.mode = Idle
+		if freeAfter {
+			m.Free()
+		}
+	})
+}
+
+// queueApp copies one application payload into the scratch buffer and
+// queues its callback.
+func (c *Conn) queueApp(payload []byte) {
+	off := len(c.appBuf)
+	c.appBuf = append(c.appBuf, payload...)
+	c.appQ = append(c.appQ, appOut{off: off, n: len(payload)})
+	c.stats.Delivered++
+}
+
+// parseWire computes the header region views of a received message without
+// consuming it (buffered messages are re-parsed at release time).
+func (c *Conn) parseWire(m *message.Msg, cid []byte, order bits.ByteOrder) (*filter.Env, []int, error) {
+	b := m.Bytes()
+	fixed := c.protoN + c.msgN + c.gosN
+	if len(b) < fixed+1 {
+		return nil, nil, fmt.Errorf("core: short message: %d bytes", len(b))
+	}
+	env := &filter.Env{Order: order, Time: c.nowMicros()}
+	env.Hdr[header.ConnID] = cid
+	env.Hdr[header.ProtoSpec] = b[:c.protoN]
+	env.Hdr[header.MsgSpec] = b[c.protoN : c.protoN+c.msgN]
+	env.Hdr[header.Gossip] = b[c.protoN+c.msgN : fixed]
+	sizes, pkLen, err := decodePacking(b[fixed:])
+	if err != nil {
+		return nil, nil, err
+	}
+	env.Payload = b[fixed+pkLen:]
+	if err := checkPackedSizes(sizes, len(env.Payload)); err != nil {
+		return nil, nil, err
+	}
+	return env, sizes, nil
+}
+
+// settle processes everything the operation made runnable: application
+// callbacks (without the lock), releases from buffering layers, post-
+// processing (unless LazyPost), and the packed backlog. Caller holds c.mu;
+// settle returns with it held.
+func (c *Conn) settle() {
+	if c.settling {
+		return // re-entered via a callback calling Send; outer loop continues
+	}
+	c.settling = true
+	defer func() { c.settling = false }()
+	for {
+		switch {
+		case len(c.appQ) > 0:
+			q := c.appQ
+			c.appQ = nil
+			buf := c.appBuf // views stay valid even if appBuf reallocates
+			cb := c.onDeliver
+			c.mu.Unlock()
+			if cb != nil {
+				for _, out := range q {
+					cb(buf[out.off : out.off+out.n])
+				}
+			}
+			c.mu.Lock()
+		case len(c.deliverQ) > 0:
+			item := c.deliverQ[0]
+			c.deliverQ = c.deliverQ[1:]
+			if item.m.Synthetic {
+				c.releaseSynthetic(item)
+			} else {
+				c.release(item)
+			}
+		case !c.ep.cfg.LazyPost && len(c.recv.pending) > 0:
+			c.runOnePost(&c.recv)
+		case !c.ep.cfg.LazyPost && len(c.send.pending) > 0:
+			c.runOnePost(&c.send)
+		case c.send.disable == 0 && len(c.send.backlog) > 0:
+			c.kickBacklog()
+		default:
+			// Quiescent: no callback is active (nested settles
+			// never process appQ), so the scratch can be reused.
+			if cap(c.appBuf) > 64<<10 {
+				c.appBuf = nil
+			} else {
+				c.appBuf = c.appBuf[:0]
+			}
+			return
+		}
+	}
+}
+
+// release re-enters the delivery path above a layer that had buffered m.
+func (c *Conn) release(item releaseItem) {
+	env, sizes, err := c.parseWire(item.m, nil, item.m.Order)
+	if err != nil {
+		c.stats.Dropped++
+		item.m.Free()
+		return
+	}
+	c.recv.mode = Pre
+	ctx := c.ctx(env)
+	v, _ := c.st.DeliverAbove(ctx, item.m, item.from)
+	c.recv.mode = Idle
+	switch v {
+	case stack.Continue:
+		c.acceptDelivery(item.m, env, sizes, item.from)
+	case stack.Consume:
+		c.stats.Consumed++
+	default:
+		c.stats.Dropped++
+		item.m.Free()
+	}
+}
+
+// releaseSynthetic delivers a layer-synthesized message (reassembled
+// fragments) that has no wire headers.
+func (c *Conn) releaseSynthetic(item releaseItem) {
+	c.queueApp(item.m.Payload())
+	item.m.Free()
+}
+
+// drain runs a side's pending post-processing to completion (§3.1: "but
+// before the next send or delivery operation"). Caller holds c.mu.
+func (c *Conn) drain(s *sideState) {
+	for len(s.pending) > 0 {
+		c.runOnePost(s)
+	}
+}
+
+func (c *Conn) runOnePost(s *sideState) {
+	f := s.pending[0]
+	s.pending = s.pending[1:]
+	c.stats.PostRuns++
+	f()
+}
+
+// Flush runs all outstanding post-processing and transmissions. With
+// LazyPost it is the application's "idle" hook.
+func (c *Conn) Flush() {
+	c.mu.Lock()
+	c.drain(&c.recv)
+	c.drain(&c.send)
+	c.settle()
+	c.mu.Unlock()
+	c.flushTx()
+}
+
+// kickBacklog packs and sends backlogged messages (§3.4). Caller holds
+// c.mu; prediction must be enabled. Batches are bounded by count and by
+// total payload bytes: a packed message must stay under the
+// fragmentation threshold, or splitting it would destroy the packing
+// structure.
+func (c *Conn) kickBacklog() {
+	n := len(c.send.backlog)
+	if n > c.ep.cfg.maxPack() {
+		n = c.ep.cfg.maxPack()
+	}
+	maxBytes := c.ep.cfg.maxPackBytes()
+	total := 0
+	fit := 0
+	for fit < n {
+		sz := c.send.backlog[fit].PayloadLen()
+		if fit > 0 && total+sz > maxBytes {
+			break
+		}
+		total += sz
+		fit++
+	}
+	n = fit
+	if c.ep.cfg.PackSameSizeOnly {
+		// The paper's PA "only packs together messages of the same
+		// size": take the maximal same-size run.
+		run := 1
+		first := c.send.backlog[0].PayloadLen()
+		for run < n && c.send.backlog[run].PayloadLen() == first {
+			run++
+		}
+		n = run
+	}
+	batch := c.send.backlog[:n]
+	c.send.backlog = c.send.backlog[n:]
+
+	if n == 1 {
+		m := batch[0]
+		_ = c.sendMsg(m, nil)
+		return
+	}
+	sizes := make([]int, n)
+	for i, m := range batch {
+		sizes[i] = m.PayloadLen()
+	}
+	packed := message.NewWithHeadroom(nil, message.DefaultHeadroom)
+	for _, m := range batch {
+		packed.AppendPayload(m.Payload())
+		m.Free()
+	}
+	c.stats.PackedBatches++
+	c.stats.PackedMsgs += uint64(n)
+	_ = c.sendMsg(packed, sizes)
+}
+
+// Close tears the connection down: timers stopped, routes removed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.idleCh != nil {
+		close(c.idleCh)
+	}
+	for _, l := range c.st.Layers() {
+		if cl, ok := l.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+	for _, m := range c.send.backlog {
+		m.Free()
+	}
+	c.send.backlog = nil
+	c.send.pending = nil
+	c.recv.pending = nil
+	c.mu.Unlock()
+	c.ep.removeConn(c)
+	return nil
+}
+
+func (c *Conn) nowMicros() uint64 {
+	return uint64(c.ep.cfg.clock().Now().UnixNano() / int64(time.Microsecond))
+}
+
+// ---- stack.Services implementation (caller always holds c.mu) ----
+
+// Clock implements stack.Services.
+func (c *Conn) Clock() vclock.Clock { return c.ep.cfg.clock() }
+
+// AfterFunc implements stack.Services: the callback runs holding the
+// connection lock, followed by a settle pass and a transmit flush.
+func (c *Conn) AfterFunc(d time.Duration, f func()) vclock.Timer {
+	return c.ep.cfg.clock().AfterFunc(d, func() {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		f()
+		c.settle()
+		c.mu.Unlock()
+		c.flushTx()
+	})
+}
+
+// DisableSend implements stack.Services (§3.2).
+func (c *Conn) DisableSend() { c.send.disable++ }
+
+// EnableSend implements stack.Services; the backlog is kicked by the
+// enclosing settle pass.
+func (c *Conn) EnableSend() {
+	if c.send.disable > 0 {
+		c.send.disable--
+	}
+}
+
+// DisableRecv implements stack.Services.
+func (c *Conn) DisableRecv() { c.recv.disable++ }
+
+// EnableRecv implements stack.Services.
+func (c *Conn) EnableRecv() {
+	if c.recv.disable > 0 {
+		c.recv.disable--
+	}
+}
+
+// SendControl implements stack.Services: a layer-generated message (§3.2)
+// traverses only the layers below the originator, then the send filter.
+func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlOpts) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	m.PushBytes(encodePacking(nil, nil))
+	gos := m.Push(c.gosN)
+	msgRegion := m.Push(c.msgN)
+	proto := m.Push(c.protoN)
+	env := &filter.Env{Payload: m.Payload(), Order: c.order, Time: c.nowMicros()}
+	env.Hdr[header.ProtoSpec] = proto
+	env.Hdr[header.MsgSpec] = msgRegion
+	env.Hdr[header.Gossip] = gos
+	if opts.Build != nil {
+		opts.Build(env)
+	}
+	ctx := c.ctx(env)
+	if v, _ := c.st.ControlSend(ctx, m, from); v != stack.Continue {
+		m.Free()
+		return fmt.Errorf("core: control message rejected below %s", from.Name())
+	}
+	if st := c.send.runFilter(env); st != filter.StatusOK {
+		m.Free()
+		return fmt.Errorf("%w: control message (status %d)", ErrSendFailed, st)
+	}
+	c.transmitAs(m, opts.IncludeConnID || c.needConnID)
+	c.needConnID = false
+	c.stats.ControlMsgs++
+	c.st.ControlPostSend(ctx, m, from)
+	m.Free()
+	return nil
+}
+
+// SendRaw implements stack.Services: retransmit a fully built frame.
+func (c *Conn) SendRaw(m *message.Msg, includeConnID bool) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.transmitAs(m, includeConnID)
+	c.stats.Retransmits++
+	return nil
+}
+
+// EnqueueDeliver implements stack.Services.
+func (c *Conn) EnqueueDeliver(from stack.Layer, m *message.Msg) {
+	c.deliverQ = append(c.deliverQ, releaseItem{from: from, m: m})
+}
+
+// Defer implements stack.Services: the action joins the receive-side
+// post-processing queue.
+func (c *Conn) Defer(f func()) {
+	c.recv.pending = append(c.recv.pending, f)
+}
+
+// DebugString renders the per-connection PA state of the paper's Table 3:
+// operation modes, the predicted headers, disable counters, pending
+// post-processing, backlog, and the packet filter geometries.
+func (c *Conn) DebugString() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol accelerator for %s (cookie %#x, conn-ident due: %v)\n",
+		c.spec.Addr, c.outCookie, c.needConnID)
+	side := func(name string, s *sideState, filterLen int) {
+		fmt.Fprintf(&b, "  %-8s mode=%-4s disable=%d pending-post=%d",
+			name, s.mode, s.disable, len(s.pending))
+		if name == "send" {
+			fmt.Fprintf(&b, " backlog=%d", len(s.backlog))
+		}
+		fmt.Fprintf(&b, " filter=%d instrs\n", filterLen)
+		fmt.Fprintf(&b, "           predicted proto-spec %x  gossip %x\n",
+			s.predict[header.ProtoSpec], s.predict[header.Gossip])
+	}
+	side("send", &c.send, c.send.prog.Len())
+	side("recv", &c.recv, c.recv.prog.Len())
+	return b.String()
+}

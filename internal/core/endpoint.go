@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"paccel/internal/bits"
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+)
+
+// Endpoint is one host attachment: it owns the transport, the router that
+// demultiplexes incoming datagrams to Protocol Accelerators (by cookie in
+// the normal case, by connection identification otherwise — §2.2), and
+// the connections themselves.
+type Endpoint struct {
+	cfg Config
+
+	mu       sync.Mutex
+	conns    map[*Conn]struct{}
+	byCookie map[uint64]*Conn
+	byIdent  map[string]*Conn
+	closed   bool
+
+	// template parses identifications of unknown connections; identSize
+	// is the uniform ConnID header size of this endpoint's stack shape.
+	template  Identifier
+	identSize int
+
+	stats EndpointStats
+}
+
+// EndpointStats counts router-level events.
+type EndpointStats struct {
+	Received       uint64
+	UnknownCookie  uint64 // dropped: cookie unknown, identification absent (§2.2)
+	UnknownIdent   uint64 // dropped: identification matched no connection
+	Rejected       uint64 // accept hook declined
+	Accepted       uint64 // connections created by the accept hook
+	Malformed      uint64
+	CookiesLearned uint64
+}
+
+// NewEndpoint attaches a Protocol Accelerator endpoint to the transport.
+func NewEndpoint(cfg Config) (*Endpoint, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Config.Transport is required")
+	}
+	ep := &Endpoint{
+		cfg:      cfg,
+		conns:    make(map[*Conn]struct{}),
+		byCookie: make(map[uint64]*Conn),
+		byIdent:  make(map[string]*Conn),
+	}
+	if err := ep.initTemplate(); err != nil {
+		return nil, err
+	}
+	cfg.Transport.SetHandler(ep.onRecv)
+	return ep, nil
+}
+
+// initTemplate builds a throwaway stack to learn the endpoint's uniform
+// ConnID layout, needed to slice identifications off incoming datagrams
+// before any connection is known.
+func (ep *Endpoint) initTemplate() error {
+	ls, err := ep.cfg.build()(PeerSpec{}, ep.cfg.Order)
+	if err != nil {
+		return err
+	}
+	st, err := stack.NewStack(ls...)
+	if err != nil {
+		return err
+	}
+	schema := header.New()
+	// Init also programs filters; give it builders that are thrown away.
+	ic := &stack.InitContext{
+		Schema:     schema,
+		SendFilter: filter.NewBuilder(),
+		RecvFilter: filter.NewBuilder(),
+	}
+	if err := st.Init(ic); err != nil {
+		return err
+	}
+	if err := schema.Compile(); err != nil {
+		return err
+	}
+	for _, l := range ls {
+		if id, ok := l.(Identifier); ok {
+			ep.template = id
+		}
+	}
+	if ep.template == nil {
+		return errors.New("core: stack has no identification layer")
+	}
+	ep.identSize = schema.Size(header.ConnID)
+	return nil
+}
+
+// Stats returns a snapshot of the router counters.
+func (ep *Endpoint) Stats() EndpointStats {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.stats
+}
+
+// IdentSize returns the endpoint's connection identification size (the
+// paper's ~76 bytes).
+func (ep *Endpoint) IdentSize() int { return ep.identSize }
+
+// Dial creates a connection to the peer described by spec and registers
+// its routes. The first outgoing message will carry the connection
+// identification (unless the spec pre-agreed cookies).
+func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	ep.mu.Unlock()
+	c, err := newConn(ep, spec)
+	if err != nil {
+		return nil, err
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, ErrConnClosed
+	}
+	ep.conns[c] = struct{}{}
+	// Route by the identification the peer will send, in either byte
+	// order — the preamble's order bit is not known in advance.
+	for _, o := range []bits.ByteOrder{bits.BigEndian, bits.LittleEndian} {
+		key := string(c.ident.ExpectedIncoming(ep.identSize, o))
+		ep.byIdent[key] = c
+	}
+	if spec.ExpectInCookie != 0 {
+		ep.byCookie[spec.ExpectInCookie&CookieMask] = c
+	}
+	return c, nil
+}
+
+// removeConn unregisters a closed connection.
+func (ep *Endpoint) removeConn(c *Conn) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	delete(ep.conns, c)
+	for k, v := range ep.byIdent {
+		if v == c {
+			delete(ep.byIdent, k)
+		}
+	}
+	for k, v := range ep.byCookie {
+		if v == c {
+			delete(ep.byCookie, k)
+		}
+	}
+}
+
+// Close closes every connection and the transport.
+func (ep *Endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	conns := make([]*Conn, 0, len(ep.conns))
+	for c := range ep.conns {
+		conns = append(conns, c)
+	}
+	ep.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return ep.cfg.Transport.Close()
+}
+
+// onRecv is the router: the paper's from_network() up to connection
+// lookup (Fig. 3).
+func (ep *Endpoint) onRecv(src string, datagram []byte) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.stats.Received++
+	ep.mu.Unlock()
+
+	pre, err := DecodePreamble(datagram)
+	if err != nil {
+		ep.note(func(s *EndpointStats) { s.Malformed++ })
+		return
+	}
+	m := message.FromWire(datagram)
+	m.Order = pre.Order
+	if _, err := m.Pop(PreambleSize); err != nil {
+		ep.note(func(s *EndpointStats) { s.Malformed++ })
+		m.Free()
+		return
+	}
+
+	var cid []byte
+	var c *Conn
+	if pre.ConnIDPresent {
+		if cid, err = m.Pop(ep.identSize); err != nil {
+			ep.note(func(s *EndpointStats) { s.Malformed++ })
+			m.Free()
+			return
+		}
+		c = ep.lookupIdent(cid, pre, src)
+		if c == nil {
+			m.Free()
+			return
+		}
+		ep.learnCookie(c, pre.Cookie)
+	} else {
+		ep.mu.Lock()
+		c = ep.byCookie[pre.Cookie]
+		if c == nil {
+			ep.stats.UnknownCookie++
+		}
+		ep.mu.Unlock()
+		if c == nil {
+			// "When a message is received with an unknown cookie,
+			// and the Connection Identification Present Bit
+			// cleared, it is dropped" (§2.2).
+			m.Free()
+			return
+		}
+	}
+	m.MarkPayload()
+	c.deliverIncoming(m, cid, pre.Order)
+}
+
+// lookupIdent routes an identified message, consulting the accept hook for
+// unknown identifications.
+func (ep *Endpoint) lookupIdent(cid []byte, pre Preamble, src string) *Conn {
+	ep.mu.Lock()
+	c := ep.byIdent[string(cid)]
+	accept := ep.cfg.Accept
+	onConn := ep.cfg.OnConn
+	ep.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	if accept == nil {
+		ep.note(func(s *EndpointStats) { s.UnknownIdent++ })
+		return nil
+	}
+	info := ep.template.ParseIncoming(cid, pre.Order)
+	spec, ok := accept(info, src)
+	if !ok {
+		ep.note(func(s *EndpointStats) { s.Rejected++ })
+		return nil
+	}
+	nc, err := ep.Dial(spec)
+	if err != nil {
+		ep.note(func(s *EndpointStats) { s.Rejected++ })
+		return nil
+	}
+	ep.note(func(s *EndpointStats) { s.Accepted++ })
+	if onConn != nil {
+		onConn(nc)
+	}
+	// The accepted spec must route the identification that created it.
+	ep.mu.Lock()
+	c = ep.byIdent[string(cid)]
+	ep.mu.Unlock()
+	if c == nil {
+		// Accept hook returned a mismatched spec; route explicitly so
+		// the message is not lost, but flag it.
+		ep.mu.Lock()
+		ep.byIdent[string(cid)] = nc
+		ep.mu.Unlock()
+		c = nc
+	}
+	return c
+}
+
+// learnCookie records the peer's (incoming) cookie for cookie-only routing.
+func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if prev, ok := ep.byCookie[cookie]; ok && prev == c {
+		return
+	}
+	// Forget this connection's previous cookie, if any.
+	for k, v := range ep.byCookie {
+		if v == c {
+			delete(ep.byCookie, k)
+		}
+	}
+	ep.byCookie[cookie] = c
+	ep.stats.CookiesLearned++
+}
+
+func (ep *Endpoint) note(f func(*EndpointStats)) {
+	ep.mu.Lock()
+	f(&ep.stats)
+	ep.mu.Unlock()
+}

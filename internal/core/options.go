@@ -1,0 +1,212 @@
+package core
+
+import (
+	"paccel/internal/bits"
+	"paccel/internal/layers"
+	"paccel/internal/stack"
+	"paccel/internal/vclock"
+)
+
+// Transport is the unreliable datagram interface the PA runs over — the
+// U-Net contract of the paper. Both netsim.Endpoint and udp.Transport
+// satisfy it. Implementations must deliver serially (one handler call at a
+// time per endpoint); both provided transports do.
+type Transport interface {
+	// Send transmits one datagram; delivery is unreliable.
+	Send(dst string, datagram []byte) error
+	// SetHandler installs the receive callback.
+	SetHandler(h func(src string, datagram []byte))
+	// LocalAddr names this endpoint.
+	LocalAddr() string
+	// Close shuts the transport down.
+	Close() error
+}
+
+// PeerSpec identifies one connection: the peer's network address plus the
+// connection identification both sides agree on (§2.1 class 1).
+type PeerSpec struct {
+	// Addr is the transport address of the peer.
+	Addr string
+	// LocalID and RemoteID are the endpoint identifiers (at most
+	// layers.EndpointIDLen bytes).
+	LocalID, RemoteID []byte
+	// LocalPort and RemotePort demultiplex connections between the same
+	// endpoints.
+	LocalPort, RemotePort uint16
+	// Epoch distinguishes incarnations of the connection.
+	Epoch uint32
+
+	// OutCookie fixes the outgoing connection cookie; 0 draws a random
+	// one (the paper's behaviour).
+	OutCookie uint64
+	// ExpectInCookie pre-registers the peer's cookie, the §2.2
+	// "agree on a cookie before starting to use it" alternative. 0
+	// means the cookie is learned from the first identified message.
+	ExpectInCookie uint64
+	// SkipFirstConnID suppresses the connection identification on the
+	// first message; only safe together with a cookie agreement.
+	SkipFirstConnID bool
+}
+
+// StackBuilder constructs the protocol stack for a new connection, top
+// layer first. The stack must contain an identification layer (one whose
+// layer implements Identifier, normally *layers.Ident) for routing.
+type StackBuilder func(spec PeerSpec, order bits.ByteOrder) ([]stack.Layer, error)
+
+// Identifier is implemented by the stack's connection-identification
+// layer; the engine uses it for routing and identification parsing.
+type Identifier interface {
+	stack.Layer
+	ExpectedIncoming(hdrSize int, peerOrder bits.ByteOrder) []byte
+	ParseIncoming(hdr []byte, order bits.ByteOrder) layers.IdentInfo
+}
+
+// DefaultStack is the paper's measured four-layer configuration: checksum
+// integrity, fragmentation, a 16-entry sliding window, and connection
+// identification.
+func DefaultStack(spec PeerSpec, order bits.ByteOrder) ([]stack.Layer, error) {
+	return []stack.Layer{
+		layers.NewChksum(),
+		layers.NewFrag(),
+		layers.NewWindow(),
+		&layers.Ident{
+			Local: spec.LocalID, Remote: spec.RemoteID,
+			LocalPort: spec.LocalPort, RemotePort: spec.RemotePort,
+			Epoch: spec.Epoch, Order: order,
+		},
+	}, nil
+}
+
+// Config configures an Endpoint. Transport is required; everything else
+// has working defaults.
+type Config struct {
+	// Transport carries the PA's datagrams.
+	Transport Transport
+	// Clock drives timers and timestamps; nil means the real clock.
+	Clock vclock.Clock
+	// Order is this host's native byte order for header fields.
+	Order bits.ByteOrder
+	// Build constructs each connection's stack; nil means DefaultStack.
+	// All connections of one endpoint must produce the same stack
+	// shape (same layers in the same order), a routing requirement.
+	Build StackBuilder
+	// Accept, if non-nil, is consulted when an identified message
+	// arrives for an unknown connection: return the spec for a new
+	// connection and true to accept it. The new connection is handed to
+	// OnConn.
+	Accept func(remote layers.IdentInfo, netSrc string) (PeerSpec, bool)
+	// OnConn observes every connection created by Accept.
+	OnConn func(*Conn)
+	// LazyPost defers post-processing past the end of each operation:
+	// pending work runs before the connection's next operation in the
+	// same direction (the §3.1 guarantee), on an explicit Flush, or on
+	// the background drainer. The default (false) drains at the end of
+	// each operation, after transmission and delivery — still off the
+	// critical path, but without unbounded deferral.
+	LazyPost bool
+	// IdleDrain, with LazyPost, starts a background drainer per
+	// connection that runs pending post-processing when the application
+	// is idle — the paper's "executed, as much as possible, when the
+	// application is idle or blocked" (§1). Without it, LazyPost relies
+	// on the next operation or an explicit Flush.
+	IdleDrain bool
+	// CompiledFilters runs packet filters through the closure compiler
+	// instead of the interpreter (the Exokernel-style optimization).
+	CompiledFilters bool
+	// PackSameSizeOnly restricts message packing to runs of equal-sized
+	// messages, the paper's current PA. Default false: general packing.
+	PackSameSizeOnly bool
+	// MaxBacklog bounds the send backlog; 0 means 1024.
+	MaxBacklog int
+	// MaxPack bounds how many messages one packed message may carry;
+	// 0 means 64.
+	MaxPack int
+	// MaxPackBytes bounds a packed message's total payload; it must not
+	// exceed the stack's fragmentation threshold, or the fragmenter
+	// would split the packed message and reassembly would lose the
+	// packing structure. 0 means layers.DefaultFragThreshold.
+	MaxPackBytes int
+}
+
+func (c *Config) clock() vclock.Clock {
+	if c.Clock == nil {
+		return vclock.Real{}
+	}
+	return c.Clock
+}
+
+func (c *Config) build() StackBuilder {
+	if c.Build == nil {
+		return DefaultStack
+	}
+	return c.Build
+}
+
+func (c *Config) maxBacklog() int {
+	if c.MaxBacklog <= 0 {
+		return 1024
+	}
+	return c.MaxBacklog
+}
+
+func (c *Config) maxPack() int {
+	if c.MaxPack <= 0 {
+		return 64
+	}
+	return c.MaxPack
+}
+
+func (c *Config) maxPackBytes() int {
+	if c.MaxPackBytes <= 0 {
+		return layers.DefaultFragThreshold
+	}
+	return c.MaxPackBytes
+}
+
+// Mode is the operation state of one PA side (paper Table 3).
+type Mode uint8
+
+// Table 3 modes.
+const (
+	Idle Mode = iota
+	Pre
+	Post
+)
+
+// String returns the Table 3 name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Idle:
+		return "IDLE"
+	case Pre:
+		return "PRE"
+	case Post:
+		return "POST"
+	}
+	return "?"
+}
+
+// ConnStats counts per-connection PA events. Fast* are critical-path
+// operations that bypassed the protocol stack entirely; Slow* fell back to
+// layered processing.
+type ConnStats struct {
+	Sent          uint64 // application messages accepted for sending
+	FastSends     uint64
+	SlowSends     uint64
+	Backlogged    uint64 // sends queued while prediction was disabled
+	PackedBatches uint64 // packed messages transmitted
+	PackedMsgs    uint64 // application messages carried inside them
+
+	Delivered    uint64 // application messages handed up
+	FastDelivers uint64
+	SlowDelivers uint64
+	Consumed     uint64 // absorbed by a layer (acks, fragments, keepalives)
+	Dropped      uint64 // filter or layer verdicts
+
+	ConnIDSent  uint64 // messages that carried the identification
+	PostRuns    uint64 // post-processing tasks executed
+	ControlMsgs uint64 // layer-generated messages transmitted
+	Retransmits uint64 // raw retransmissions
+
+	SendErrors uint64
+}

@@ -1,0 +1,150 @@
+package evsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Server load (§6 "Maximum Load"): a server runs one Protocol Accelerator
+// per client; every RPC costs the server a delivery, a reply pre-send,
+// and the lazy post-processing (plus GC). The paper's point is that the
+// per-connection cap (~6000 RPCs/s) is also the *server-wide* cap on one
+// processor — "the post-processing will consume all the server's
+// available CPU cycles" — and lists the remedies: a faster language
+// (cheaper post phases), a multiprocessor (stacks for different
+// connections are independent, so the cap multiplies by the processor
+// count), or replication.
+
+// ServerLoadConfig parameterizes the §6 capacity analysis.
+type ServerLoadConfig struct {
+	Model CostModel
+	// Clients is the number of concurrently active client connections.
+	Clients int
+	// Processors is the server's CPU count; connections are
+	// independent, so stacks divide among processors with no
+	// synchronization (§6).
+	Processors int
+	// PostSpeedup scales the post-processing cost down, modelling the
+	// "faster implementation of the ML language" remedy (1 = none).
+	PostSpeedup float64
+}
+
+// ServerLoadResult is the predicted server capacity.
+type ServerLoadResult struct {
+	// PerClientCap is one connection's round-trip ceiling (network +
+	// §3.1 pipeline).
+	PerClientCap float64
+	// ServerCap is the server-wide RPCs/second ceiling.
+	ServerCap float64
+	// ServerCPUPerRPC is the server CPU time consumed by one RPC.
+	ServerCPUPerRPC time.Duration
+	// Bottleneck is "server-cpu" or "client-cap".
+	Bottleneck string
+}
+
+// ServerLoad computes the §6 capacity numbers.
+func ServerLoad(cfg ServerLoadConfig) ServerLoadResult {
+	cm := cfg.Model
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.Processors < 1 {
+		cfg.Processors = 1
+	}
+	speed := cfg.PostSpeedup
+	if speed < 1 {
+		speed = 1
+	}
+
+	// One RPC costs the server: Deliver + PreSend critical, post-send +
+	// post-delivery (+ GC) lazy — all CPU either way.
+	post := time.Duration(float64(cm.postSend()+cm.postDeliver()) / speed)
+	gc := time.Duration(0)
+	if cm.GCEveryReceive {
+		gc = time.Duration(float64((cm.GCMin+cm.GCMax)/2) / speed)
+	}
+	perRPC := cm.Deliver + cm.PreSend + post + gc
+
+	// A single client cannot exceed its own closed-loop pipeline cap.
+	perClient, _ := MaxRoundTripRate(cm, 1200)
+
+	serverCPU := float64(cfg.Processors) * float64(time.Second) / float64(perRPC)
+	demand := float64(cfg.Clients) * perClient
+
+	res := ServerLoadResult{
+		PerClientCap:    perClient,
+		ServerCPUPerRPC: perRPC,
+	}
+	if demand <= serverCPU {
+		res.ServerCap = demand
+		res.Bottleneck = "client-cap"
+	} else {
+		res.ServerCap = serverCPU
+		res.Bottleneck = "server-cpu"
+	}
+	return res
+}
+
+// ServerLoadSim cross-checks the analytic ServerLoad numbers with a full
+// discrete-event simulation: k closed-loop clients (each its own CPU)
+// share one server CPU, every connection with its own §3.1 lazy chains.
+// It returns the aggregate achieved RPCs/second.
+func ServerLoadSim(cm CostModel, clients, n int) float64 {
+	rng := rand.New(rand.NewSource(cm.Seed))
+	server := &CPU{Name: "server"}
+	type clientState struct {
+		cpu                     *CPU
+		predSend, predDeliver   *Lazy
+		bulkSendP, bulkDeliverP *Lazy
+		bulkSend, bulkDeliver   *Lazy
+		gc, gcP                 *Lazy
+		// Server-side per-connection chains.
+		sPredSend, sPredDeliver   *Lazy
+		sBulkSendP, sBulkDeliverP *Lazy
+		sBulkSend, sBulkDeliver   *Lazy
+		sGC, sGCP                 *Lazy
+		prevReply                 time.Duration
+		done                      int
+	}
+	cs := make([]*clientState, clients)
+	for i := range cs {
+		cs[i] = &clientState{cpu: &CPU{Name: "client"}}
+	}
+	wire := cm.wire(8)
+	var endOfRun time.Duration
+
+	// Round-robin the clients one RPC at a time so server contention
+	// interleaves realistically.
+	for round := 0; round < n; round++ {
+		for _, c := range cs {
+			issue := c.prevReply
+			sendDone := c.cpu.Exec(issue, cm.PreSend, c.bulkSendP, c.gcP, c.predSend)
+			arrive := sendDone + wire + cm.NetLatency
+			servDeliver := server.Exec(arrive, cm.Deliver, c.sBulkDeliverP, c.sPredDeliver)
+			replyDone := server.Exec(servDeliver, cm.PreSend, c.sBulkSendP, c.sGCP, c.sPredSend)
+			c.sBulkSendP, c.sBulkDeliverP, c.sGCP = c.sBulkSend, c.sBulkDeliver, c.sGC
+			c.sPredSend = server.AddLazy(replyDone, cm.PredictSend, "ps")
+			c.sBulkSend = server.AddLazy(replyDone, cm.bulkSend(), "bs")
+			c.sPredDeliver = server.AddLazy(replyDone, cm.PredictDeliver, "pd")
+			c.sBulkDeliver = server.AddLazy(replyDone, cm.bulkDeliver(), "bd")
+			c.sGC = server.AddLazy(replyDone, cm.gc(rng), "gc")
+			replyArrive := replyDone + wire + cm.NetLatency
+			clientDeliver := c.cpu.Exec(replyArrive, cm.Deliver, c.bulkDeliverP, c.predDeliver)
+			c.bulkSendP, c.bulkDeliverP, c.gcP = c.bulkSend, c.bulkDeliver, c.gc
+			c.predSend = c.cpu.AddLazy(clientDeliver, cm.PredictSend, "ps")
+			c.bulkSend = c.cpu.AddLazy(clientDeliver, cm.bulkSend(), "bs")
+			c.predDeliver = c.cpu.AddLazy(clientDeliver, cm.PredictDeliver, "pd")
+			c.bulkDeliver = c.cpu.AddLazy(clientDeliver, cm.bulkDeliver(), "bd")
+			c.gc = c.cpu.AddLazy(clientDeliver, cm.gc(rng), "gc")
+			c.prevReply = clientDeliver
+			c.done++
+			if clientDeliver > endOfRun {
+				endOfRun = clientDeliver
+			}
+		}
+	}
+	if endOfRun <= 0 {
+		return 0
+	}
+	return float64(clients*n) / endOfRun.Seconds()
+}

@@ -1,0 +1,123 @@
+package evsim
+
+import (
+	"testing"
+	"time"
+)
+
+func noGCCosts() CostModel {
+	cm := PaperCosts()
+	cm.GCEveryReceive = false
+	return cm
+}
+
+func TestServerLoadSingleClientMatchesPaper(t *testing.T) {
+	// §6: "the maximum number of Remote Procedure Calls that an
+	// individual client may do is limited to 6000 per second."
+	r := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 1, Processors: 1})
+	if r.ServerCap < 4500 || r.ServerCap > 7000 {
+		t.Fatalf("single-client cap = %.0f (paper: ~6000)", r.ServerCap)
+	}
+	if r.Bottleneck != "client-cap" {
+		t.Fatalf("bottleneck = %s", r.Bottleneck)
+	}
+}
+
+func TestServerLoadManyClientsHitCPU(t *testing.T) {
+	// §6: "Even with multiple clients, a server cannot process more
+	// than 6000 requests per second total, because the post-processing
+	// will consume all the server's available CPU cycles."
+	one := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 1, Processors: 1})
+	many := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 16, Processors: 1})
+	if many.Bottleneck != "server-cpu" {
+		t.Fatalf("bottleneck = %s", many.Bottleneck)
+	}
+	// The server-wide cap stays in the same band as the single-client
+	// cap — adding clients cannot push past the CPU.
+	if many.ServerCap > 1.5*one.ServerCap {
+		t.Fatalf("16 clients %.0f >> 1 client %.0f", many.ServerCap, one.ServerCap)
+	}
+	if r := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 64, Processors: 1}); r.ServerCap != many.ServerCap {
+		t.Fatalf("cap should be client-count independent at saturation: %.0f vs %.0f",
+			r.ServerCap, many.ServerCap)
+	}
+}
+
+func TestServerLoadMultiprocessorMultiplies(t *testing.T) {
+	// §6: "This way the maximum number of RPCs per second is multiplied
+	// by the number of processors."
+	p1 := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 64, Processors: 1})
+	p4 := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 64, Processors: 4})
+	ratio := p4.ServerCap / p1.ServerCap
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("4-processor scaling = %.2fx", ratio)
+	}
+}
+
+func TestServerLoadFasterLanguage(t *testing.T) {
+	// §6: "an even faster implementation of the ML language may be
+	// chosen" — halving post costs raises the CPU-bound cap.
+	slow := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 64, Processors: 1})
+	fast := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 64, Processors: 1, PostSpeedup: 2})
+	if fast.ServerCap <= slow.ServerCap {
+		t.Fatalf("speedup did not help: %.0f vs %.0f", fast.ServerCap, slow.ServerCap)
+	}
+	if fast.ServerCPUPerRPC >= slow.ServerCPUPerRPC {
+		t.Fatal("per-RPC CPU did not shrink")
+	}
+}
+
+func TestServerLoadGCDominates(t *testing.T) {
+	gc := ServerLoad(ServerLoadConfig{Model: PaperCosts(), Clients: 64, Processors: 1})
+	no := ServerLoad(ServerLoadConfig{Model: noGCCosts(), Clients: 64, Processors: 1})
+	if gc.ServerCap >= no.ServerCap {
+		t.Fatal("GC-every-receive should reduce server capacity")
+	}
+	if gc.ServerCPUPerRPC < 400*time.Microsecond {
+		t.Fatalf("per-RPC CPU with GC = %v", gc.ServerCPUPerRPC)
+	}
+}
+
+func TestServerLoadDefaults(t *testing.T) {
+	r := ServerLoad(ServerLoadConfig{Model: noGCCosts()})
+	if r.ServerCap <= 0 || r.PerClientCap <= 0 {
+		t.Fatal("zero-value clients/processors not defaulted")
+	}
+}
+
+func TestServerLoadSimMatchesAnalytic(t *testing.T) {
+	// The discrete-event multi-client simulation must land within ~15%
+	// of the analytic §6 capacity for a saturated one-CPU server.
+	cm := noGCCosts()
+	analytic := ServerLoad(ServerLoadConfig{Model: cm, Clients: 8, Processors: 1})
+	sim := ServerLoadSim(cm, 8, 400)
+	ratio := sim / analytic.ServerCap
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("sim %.0f vs analytic %.0f (ratio %.2f)", sim, analytic.ServerCap, ratio)
+	}
+}
+
+func TestServerLoadSimSingleClientMatchesPipeline(t *testing.T) {
+	cm := noGCCosts()
+	sim := ServerLoadSim(cm, 1, 1500)
+	pipeline, _ := MaxRoundTripRate(cm, 1500)
+	ratio := sim / pipeline
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("sim %.0f vs pipeline %.0f", sim, pipeline)
+	}
+}
+
+func TestServerLoadSimScalesThenSaturates(t *testing.T) {
+	cm := noGCCosts()
+	one := ServerLoadSim(cm, 1, 400)
+	two := ServerLoadSim(cm, 2, 400)
+	many := ServerLoadSim(cm, 12, 200)
+	// Two clients already saturate the shared CPU; adding more cannot
+	// help (and contention may cost a little).
+	if two < one*0.95 {
+		t.Fatalf("two clients %.0f below one %.0f", two, one)
+	}
+	if many > two*1.1 {
+		t.Fatalf("many clients %.0f kept scaling past %.0f", many, two)
+	}
+}

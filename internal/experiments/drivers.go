@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"paccel/internal/core"
+	"paccel/internal/evsim"
+	"paccel/internal/header"
+	"paccel/internal/netsim"
+	"paccel/internal/stats"
+)
+
+// Table4Sim regenerates the paper's Table 4 from the calibrated testbed
+// model, alongside the published values.
+func Table4Sim() string {
+	t4 := evsim.ComputeTable4(evsim.PaperCosts())
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — basic performance (simulated 1996 testbed)\n")
+	fmt.Fprintf(&b, "%-28s %15s %15s\n", "what", "paper", "reproduced")
+	fmt.Fprintf(&b, "%-28s %15s %15s\n", "one-way latency", "85 µs",
+		stats.Micros(t4.OneWayLatency)+" µs")
+	fmt.Fprintf(&b, "%-28s %15s %15s\n", "message throughput", "80,000 msgs/s",
+		fmt.Sprintf("%.0f msgs/s", t4.MsgsPerSec))
+	fmt.Fprintf(&b, "%-28s %15s %15s\n", "#roundtrips/sec", "6000 rt/s",
+		fmt.Sprintf("%.0f rt/s", t4.RoundTripsSec))
+	fmt.Fprintf(&b, "%-28s %15s %15s\n", "bandwidth (1 Kbyte msgs)", "15 Mbytes/s",
+		fmt.Sprintf("%.1f Mbytes/s", t4.BandwidthMBs))
+	return b.String()
+}
+
+// Table4Real measures the same four rows on the Go implementation over
+// the in-memory network (absolute numbers reflect today's hardware; the
+// point is the methodology and the relative behaviour).
+func Table4Real(quick bool) (string, error) {
+	n := 20000
+	if quick {
+		n = 2000
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — basic performance (Go implementation, in-memory network)\n")
+
+	p, err := NewPair(PairOptions{})
+	if err != nil {
+		return "", err
+	}
+	rtt, err := p.PingPong(n, make([]byte, 8))
+	p.Close()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-28s %15v\n", "one-way latency (rtt/2)", rtt/2)
+	fmt.Fprintf(&b, "%-28s %15s\n", "#roundtrips/sec",
+		fmt.Sprintf("%.0f rt/s", stats.Rate(rtt)))
+
+	p, err = NewPair(PairOptions{})
+	if err != nil {
+		return "", err
+	}
+	msgs, _, err := p.StreamOneWay(n, make([]byte, 8))
+	p.Close()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-28s %15s\n", "message throughput",
+		fmt.Sprintf("%.0f msgs/s", msgs))
+
+	p, err = NewPair(PairOptions{})
+	if err != nil {
+		return "", err
+	}
+	_, bytesPs, err := p.StreamOneWay(n, make([]byte, 1024))
+	p.Close()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-28s %15s\n", "bandwidth (1 Kbyte msgs)",
+		fmt.Sprintf("%.1f Mbytes/s", bytesPs/1e6))
+	return b.String(), nil
+}
+
+// Fig4 renders the round-trip breakdown timeline (paper Figure 4).
+func Fig4() string {
+	tl, res := evsim.FirstRoundTripTimeline(evsim.PaperCosts())
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — breakdown of the round-trip execution (simulated)\n")
+	fmt.Fprintf(&b, "paper: send 25 µs, net 35 µs, deliver 25 µs per direction;\n")
+	fmt.Fprintf(&b, "       post-send ~80 µs, post-deliver ~50 µs, GC 150–450 µs\n\n")
+	b.WriteString(tl.Render("server", "client"))
+	fmt.Fprintf(&b, "\nround trip: %s µs (paper: ~170); all post-processing and GC done by %s µs\n",
+		stats.Micros(res.FirstRTT), stats.Micros(res.PostDone))
+
+	// The dashed (back-to-back) case: the earliest next round trip and
+	// its latency at saturation.
+	rate, lat := evsim.MaxRoundTripRate(evsim.PaperCosts(), 2000)
+	fmt.Fprintf(&b, "pushed to its limits (dashed): %.0f rt/s, average latency %s µs (paper: ~1900 rt/s, ~400 µs)\n",
+		rate, stats.Micros(lat))
+	return b.String()
+}
+
+// Fig5Point is one point of the latency-vs-rate curve.
+type Fig5Point struct {
+	Rate    float64
+	Latency time.Duration
+}
+
+// Fig5Curve sweeps offered round-trip rates for one GC policy. The sweep
+// paces a closed loop with decreasing idle gaps, then pushes back-to-back,
+// tracing the curve up to its saturation point — exactly how the paper's
+// Figure 5 lines terminate at their caps.
+func Fig5Curve(gcEvery bool, n int) []Fig5Point {
+	cm := evsim.PaperCosts()
+	cm.GCEveryReceive = gcEvery
+	gaps := []time.Duration{
+		1800, 1300, 800, 600, 500, 400, 300, 250, 200, 150, 100, 50, 20, 0,
+	}
+	var pts []Fig5Point
+	for _, gap := range gaps {
+		res := evsim.RoundTrips(evsim.RTConfig{Model: cm, N: n, Gap: gap * time.Microsecond})
+		pts = append(pts, Fig5Point{Rate: res.Achieved, Latency: res.Latency.Mean()})
+	}
+	return pts
+}
+
+// Fig5 renders both curves of Figure 5: round-trip latency as a function
+// of round-trips per second, with GC after every round trip (solid) and
+// only occasionally (dashed).
+func Fig5(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — round-trip latency vs round-trips/second (simulated)\n")
+	fmt.Fprintf(&b, "paper: solid (GC each time) flat at 170 µs until ~1650 rt/s,\n")
+	fmt.Fprintf(&b, "       capping near 1900 rt/s around 400 µs; dashed (occasional GC)\n")
+	fmt.Fprintf(&b, "       reaches ~6000 rt/s\n\n")
+	fmt.Fprintf(&b, "%12s %16s %12s %16s\n", "rt/s (GC)", "latency µs (GC)", "rt/s (occ)", "latency µs (occ)")
+	solid := Fig5Curve(true, n)
+	dashed := Fig5Curve(false, n)
+	for i := range solid {
+		fmt.Fprintf(&b, "%12.0f %16s %12.0f %16s\n",
+			solid[i].Rate, stats.Micros(solid[i].Latency),
+			dashed[i].Rate, stats.Micros(dashed[i].Latency))
+	}
+	return b.String()
+}
+
+// LayersSim reports the §5 layer-doubling experiment on the model:
+// post-processing grows ~15 µs per direction per extra layer while the
+// critical path is unchanged.
+func LayersSim() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Layer scaling (§5, simulated): window layer stacked k extra times\n")
+	fmt.Fprintf(&b, "%8s %12s %14s %14s %12s\n", "extra", "rtt µs", "post-send µs", "post-dlvr µs", "max rt/s")
+	for extra := 0; extra <= 4; extra++ {
+		cm := evsim.PaperCosts()
+		cm.ExtraLayers = extra
+		_, res := evsim.FirstRoundTripTimeline(cm)
+		rate, _ := evsim.MaxRoundTripRate(cm, 1500)
+		fmt.Fprintf(&b, "%8d %12s %14d %14d %12.0f\n",
+			extra, stats.Micros(res.FirstRTT),
+			80+15*extra, 50+15*extra, rate)
+	}
+	fmt.Fprintf(&b, "paper: +15 µs post-send and +15 µs post-delivery per doubling; no RTT change\n")
+	return b.String()
+}
+
+// LayersReal measures the doubled-window stack on the Go implementation.
+func LayersReal(quick bool) (string, error) {
+	n := 20000
+	if quick {
+		n = 2000
+	}
+	p4, err := NewPair(PairOptions{})
+	if err != nil {
+		return "", err
+	}
+	rtt4, err := p4.PingPong(n, make([]byte, 8))
+	p4.Close()
+	if err != nil {
+		return "", err
+	}
+	p5, err := NewPair(PairOptions{Build: DoubledWindowStack})
+	if err != nil {
+		return "", err
+	}
+	rtt5, err := p5.PingPong(n, make([]byte, 8))
+	p5.Close()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("Layer scaling (Go implementation): 4-layer rtt %v, 5-layer (window ×2) rtt %v (+%v)\n",
+		rtt4, rtt5, rtt5-rtt4), nil
+}
+
+// Headers reports the §2 header-overhead comparison: the compact PA
+// layout against the per-layer padded baseline, for the default stack.
+func Headers() (string, error) {
+	p, err := NewPair(PairOptions{})
+	if err != nil {
+		return "", err
+	}
+	defer p.Close()
+	paSchema := p.A.Schema()
+
+	bp, err := NewBaselinePair(netsim.Config{})
+	if err != nil {
+		return "", err
+	}
+	defer bp.Close()
+	blSchema := bp.A.Schema()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Header overhead (§2) — identical four-layer stack, two layouts\n\n")
+	b.WriteString(paSchema.Report())
+	fmt.Fprintf(&b, "\n")
+	b.WriteString(blSchema.Report())
+	paNormal := core.PreambleSize + paSchema.TotalSize() + 1
+	fmt.Fprintf(&b, "\nnormal PA message overhead: %d bytes (preamble %d + headers %d + packing 1)\n",
+		paNormal, core.PreambleSize, paSchema.TotalSize())
+	fmt.Fprintf(&b, "first/unusual PA message adds the %d-byte identification (paper: ~76)\n",
+		paSchema.Size(header.ConnID))
+	fmt.Fprintf(&b, "baseline overhead on EVERY message: %d bytes\n", blSchema.TotalSize())
+	fmt.Fprintf(&b, "PA saving per normal message: %d bytes (%.1fx smaller; fits the 40-byte U-Net fast frame: %v)\n",
+		blSchema.TotalSize()-paNormal,
+		float64(blSchema.TotalSize())/float64(paNormal), paNormal <= 40)
+	return b.String(), nil
+}
+
+// BaselineSim reports the PA-vs-original-Horus comparison on the
+// calibrated models.
+func BaselineSim() string {
+	um := evsim.PaperUnaccelerated()
+	_, acc := evsim.FirstRoundTripTimeline(evsim.PaperCosts())
+	rtt := um.RoundTrip(8)
+	return fmt.Sprintf(
+		"PA vs traditional layering (simulated): accelerated rtt %s µs, traditional rtt %s µs (%.1fx; paper: 170 µs vs ~1.5 ms ≈ 8.8x)\n",
+		stats.Micros(acc.FirstRTT), stats.Micros(rtt),
+		float64(rtt)/float64(acc.FirstRTT))
+}
+
+// BaselineReal measures the same comparison on the Go implementation.
+func BaselineReal(quick bool) (string, error) {
+	n := 20000
+	if quick {
+		n = 2000
+	}
+	p, err := NewPair(PairOptions{})
+	if err != nil {
+		return "", err
+	}
+	paRTT, err := p.PingPong(n, make([]byte, 8))
+	p.Close()
+	if err != nil {
+		return "", err
+	}
+	bp, err := NewBaselinePair(netsim.Config{})
+	if err != nil {
+		return "", err
+	}
+	blRTT, err := bp.PingPong(n, make([]byte, 8))
+	bp.Close()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"PA vs traditional layering (Go): accelerated rtt %v, traditional rtt %v (%.2fx)\n",
+		paRTT, blRTT, float64(blRTT)/float64(paRTT)), nil
+}
+
+// ServerLoad reports the §6 "Maximum Load" analysis: the server-wide RPC
+// ceiling as clients and processors vary, with the paper's remedies.
+func ServerLoad() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Maximum load (§6, simulated): server-wide RPCs/second\n")
+	fmt.Fprintf(&b, "paper: one client caps at ~6000 RPC/s; more clients cannot exceed it on\n")
+	fmt.Fprintf(&b, "       one CPU (post-processing consumes all cycles); N processors multiply it\n\n")
+	cm := evsim.PaperCosts()
+	cm.GCEveryReceive = false
+	fmt.Fprintf(&b, "%8s %11s %14s %14s %12s\n", "clients", "processors", "per-client", "server cap", "bottleneck")
+	for _, c := range []struct{ clients, procs int }{
+		{1, 1}, {2, 1}, {8, 1}, {64, 1}, {64, 2}, {64, 4}, {64, 8},
+	} {
+		r := evsim.ServerLoad(evsim.ServerLoadConfig{Model: cm, Clients: c.clients, Processors: c.procs})
+		fmt.Fprintf(&b, "%8d %11d %14.0f %14.0f %12s\n",
+			c.clients, c.procs, r.PerClientCap, r.ServerCap, r.Bottleneck)
+	}
+	r2 := evsim.ServerLoad(evsim.ServerLoadConfig{Model: cm, Clients: 64, Processors: 1, PostSpeedup: 3})
+	fmt.Fprintf(&b, "\nwith 3x faster post-processing (the \"faster ML\" remedy): %.0f RPC/s on one CPU\n", r2.ServerCap)
+	return b.String()
+}
+
+// Hiccups reports the occasional-GC tail: §5's "hiccups which last about
+// a millisecond" that the Figure 5 dashed line trades for its higher
+// rates.
+func Hiccups() string {
+	cm := evsim.PaperCosts()
+	cm.GCEveryReceive = false
+	cm.GCHiccupEvery = 100
+	cm.GCHiccup = time.Millisecond
+	res := evsim.RoundTrips(evsim.RTConfig{Model: cm, N: 3000})
+	var b strings.Builder
+	fmt.Fprintf(&b, "GC hiccups (§5, simulated): occasional collection, one ~1 ms pause per 100 receives\n")
+	fmt.Fprintf(&b, "  p50 %s µs   p90 %s µs   p99 %s µs   max %s µs   (paper: typical 170 µs, hiccups ~1 ms)\n",
+		stats.Micros(res.Latency.Percentile(50)),
+		stats.Micros(res.Latency.Percentile(90)),
+		stats.Micros(res.Latency.Percentile(99)),
+		stats.Micros(res.Latency.Max()))
+	fmt.Fprintf(&b, "  achieved %.0f rt/s back-to-back\n", res.Achieved)
+	return b.String()
+}
+
+// Fig5CSV emits the Figure 5 curves as CSV (curve,rate_per_sec,latency_us)
+// for external plotting.
+func Fig5CSV(n int) string {
+	var b strings.Builder
+	b.WriteString("curve,rate_per_sec,latency_us\n")
+	for _, c := range []struct {
+		name    string
+		gcEvery bool
+	}{{"gc-every-receive", true}, {"occasional-gc", false}} {
+		for _, pt := range Fig5Curve(c.gcEvery, n) {
+			fmt.Fprintf(&b, "%s,%.0f,%s\n", c.name, pt.Rate, stats.Micros(pt.Latency))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable4Sim(t *testing.T) {
+	out := Table4Sim()
+	for _, want := range []string{"one-way latency", "85 µs", "80,000 msgs/s", "6000 rt/s", "15 Mbytes/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4Real(t *testing.T) {
+	out, err := Table4Real(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "message throughput") {
+		t.Fatalf("output:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFig4(t *testing.T) {
+	out := Fig4()
+	for _, want := range []string{"SEND()", "DELIVER()", "GARBAGE COLLECTED", "round trip"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFig5(t *testing.T) {
+	out := Fig5(400)
+	if !strings.Contains(out, "rt/s (GC)") {
+		t.Fatalf("output:\n%s", out)
+	}
+	pts := Fig5Curve(true, 400)
+	if len(pts) < 5 {
+		t.Fatal("too few points")
+	}
+	// Monotone non-decreasing achieved rate as the gap shrinks.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Rate < pts[i-1].Rate-1 {
+			t.Fatalf("rate regressed: %v", pts)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestLayersSimAndReal(t *testing.T) {
+	out := LayersSim()
+	if !strings.Contains(out, "max rt/s") {
+		t.Fatalf("sim output:\n%s", out)
+	}
+	real, err := LayersReal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s%s", out, real)
+}
+
+func TestHeaders(t *testing.T) {
+	out, err := Headers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"compact layout", "layered layout", "76", "fits the 40-byte"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestBaselineSimAndReal(t *testing.T) {
+	out := BaselineSim()
+	if !strings.Contains(out, "8.8x") {
+		t.Fatalf("sim output:\n%s", out)
+	}
+	real, err := BaselineReal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(real, "accelerated rtt") {
+		t.Fatalf("real output:\n%s", real)
+	}
+	t.Logf("\n%s%s", out, real)
+}
+
+func TestServerLoadDriver(t *testing.T) {
+	out := ServerLoad()
+	for _, want := range []string{"server cap", "bottleneck", "server-cpu", "client-cap", "faster ML"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestHiccupsDriver(t *testing.T) {
+	out := Hiccups()
+	for _, want := range []string{"p50", "p99", "max", "hiccups"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFig5CSV(t *testing.T) {
+	out := Fig5CSV(200)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "curve,rate_per_sec,latency_us" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 20 {
+		t.Fatalf("only %d rows", len(lines))
+	}
+	if !strings.Contains(out, "gc-every-receive") || !strings.Contains(out, "occasional-gc") {
+		t.Fatal("curves missing")
+	}
+}

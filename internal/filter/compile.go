@@ -1,0 +1,219 @@
+package filter
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"paccel/internal/bits"
+)
+
+// Compiled is a packet filter program lowered to a chain of pre-bound Go
+// closures. It is this implementation's analogue of the Exokernel trick
+// the paper intends to adopt — compiling filter programs to machine code
+// (§3.3) — and is benchmarked against the interpreter as an ablation.
+//
+// Field accesses that turn out conveniently aligned are specialized to
+// direct word loads/stores, the paper's "customized instructions".
+// A Compiled program shares the underlying instruction storage with its
+// Program, so SetConst patches take effect in both.
+type Compiled struct {
+	steps    []step
+	maxStack int
+}
+
+// step executes one instruction. It returns (status, done); when done is
+// false the status is ignored.
+type step func(env *Env, stack []uint64) (int, bool, []uint64)
+
+// Compile lowers the program. The result is safe for concurrent use to the
+// same degree as the Program itself (SetConst is not synchronized).
+func (p *Program) Compile() *Compiled {
+	c := &Compiled{maxStack: p.maxStack}
+	c.steps = make([]step, len(p.ins))
+	for i := range p.ins {
+		c.steps[i] = compileInstr(&p.ins[i])
+	}
+	return c
+}
+
+// vmFrame is a pooled operand stack. Closure-chained execution would
+// otherwise force the stack to escape to the heap on every Run — the
+// hidden cost that makes naive "compilation" slower than the interpreter
+// in Go.
+type vmFrame struct{ buf [64]uint64 }
+
+var framePool = sync.Pool{New: func() any { return new(vmFrame) }}
+
+// Run executes the compiled program, with the same semantics as
+// Program.Run.
+func (c *Compiled) Run(env *Env) int {
+	f := framePool.Get().(*vmFrame)
+	defer framePool.Put(f)
+	var stack []uint64
+	if c.maxStack <= len(f.buf) {
+		stack = f.buf[:0]
+	} else {
+		stack = make([]uint64, 0, c.maxStack)
+	}
+	for _, st := range c.steps {
+		status, done, s := st(env, stack)
+		if done {
+			return status
+		}
+		stack = s
+	}
+	return StatusOK
+}
+
+func compileInstr(in *Instr) step {
+	switch in.Op {
+	case Nop:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return 0, false, stack
+		}
+	case PushConst:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return 0, false, append(stack, uint64(in.Arg))
+		}
+	case PushField:
+		return compileFieldPush(in)
+	case PushSize:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return 0, false, append(stack, uint64(len(env.Payload)))
+		}
+	case PushTime:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return 0, false, append(stack, env.Time)
+		}
+	case Digest:
+		fn, _ := digestFunc(in.Dig)
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return 0, false, append(stack, fn(env.Payload))
+		}
+	case PopField:
+		return compileFieldPop(in)
+	case Not:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			if stack[len(stack)-1] == 0 {
+				stack[len(stack)-1] = 1
+			} else {
+				stack[len(stack)-1] = 0
+			}
+			return 0, false, stack
+		}
+	case Dup:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return 0, false, append(stack, stack[len(stack)-1])
+		}
+	case Swap:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			n := len(stack)
+			stack[n-1], stack[n-2] = stack[n-2], stack[n-1]
+			return 0, false, stack
+		}
+	case Return:
+		status := int(in.Arg)
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			return status, true, stack
+		}
+	case Abort:
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v != 0 {
+				return int(in.Arg), true, stack
+			}
+			return 0, false, stack
+		}
+	default:
+		op := in.Op
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			a := stack[len(stack)-2]
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			r, fault := binop(op, a, b)
+			if fault {
+				return StatusFault, true, stack
+			}
+			stack[len(stack)-1] = r
+			return 0, false, stack
+		}
+	}
+}
+
+// compileFieldPush specializes aligned 16/32-bit fields to direct loads —
+// the dominant cases (lengths, checksums, sequence numbers).
+func compileFieldPush(in *Instr) step {
+	h := in.Field
+	cls, off, size := h.Class(), h.Offset(), h.SizeBits()
+	if bits.Aligned(off, size) {
+		byteOff := off / 8
+		switch size {
+		case 16:
+			return func(env *Env, stack []uint64) (int, bool, []uint64) {
+				b := env.Hdr[cls][byteOff:]
+				var v uint64
+				if env.Order == bits.LittleEndian {
+					v = uint64(binary.LittleEndian.Uint16(b))
+				} else {
+					v = uint64(binary.BigEndian.Uint16(b))
+				}
+				return 0, false, append(stack, v)
+			}
+		case 32:
+			return func(env *Env, stack []uint64) (int, bool, []uint64) {
+				b := env.Hdr[cls][byteOff:]
+				var v uint64
+				if env.Order == bits.LittleEndian {
+					v = uint64(binary.LittleEndian.Uint32(b))
+				} else {
+					v = uint64(binary.BigEndian.Uint32(b))
+				}
+				return 0, false, append(stack, v)
+			}
+		}
+	}
+	return func(env *Env, stack []uint64) (int, bool, []uint64) {
+		return 0, false, append(stack, h.Read(env.Hdr[cls], env.Order))
+	}
+}
+
+func compileFieldPop(in *Instr) step {
+	h := in.Field
+	cls, off, size := h.Class(), h.Offset(), h.SizeBits()
+	if bits.Aligned(off, size) {
+		byteOff := off / 8
+		switch size {
+		case 16:
+			return func(env *Env, stack []uint64) (int, bool, []uint64) {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				b := env.Hdr[cls][byteOff:]
+				if env.Order == bits.LittleEndian {
+					binary.LittleEndian.PutUint16(b, uint16(v))
+				} else {
+					binary.BigEndian.PutUint16(b, uint16(v))
+				}
+				return 0, false, stack
+			}
+		case 32:
+			return func(env *Env, stack []uint64) (int, bool, []uint64) {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				b := env.Hdr[cls][byteOff:]
+				if env.Order == bits.LittleEndian {
+					binary.LittleEndian.PutUint32(b, uint32(v))
+				} else {
+					binary.BigEndian.PutUint32(b, uint32(v))
+				}
+				return 0, false, stack
+			}
+		}
+	}
+	return func(env *Env, stack []uint64) (int, bool, []uint64) {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h.Write(env.Hdr[cls], env.Order, v)
+		return 0, false, stack
+	}
+}

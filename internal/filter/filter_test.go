@@ -1,0 +1,518 @@
+package filter
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"paccel/internal/bits"
+	"paccel/internal/header"
+)
+
+// testSchema builds a small compiled schema resembling the chksum layer's
+// fields: a 16-bit length and 16-bit checksum (message-specific) plus a
+// 32-bit sequence number (protocol-specific).
+func testSchema(t testing.TB) (s *header.Schema, length, cksum, seq header.Handle) {
+	t.Helper()
+	s = header.New()
+	var err error
+	if length, err = s.AddField(header.MsgSpec, "chksum", "len", 16, header.DontCare); err != nil {
+		t.Fatal(err)
+	}
+	if cksum, err = s.AddField(header.MsgSpec, "chksum", "ck", 16, header.DontCare); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err = s.AddField(header.ProtoSpec, "seqno", "seq", 32, header.DontCare); err != nil {
+		t.Fatal(err)
+	}
+	if err = s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	return s, length, cksum, seq
+}
+
+func newEnv(s *header.Schema, payload []byte) *Env {
+	env := &Env{Payload: payload, Order: bits.BigEndian}
+	for c := header.Class(0); c < header.NumClasses; c++ {
+		env.Hdr[c] = make([]byte, s.Size(c))
+	}
+	return env
+}
+
+// sendProgram builds the canonical send filter: store payload size and
+// Internet checksum into the message-specific header, reject payloads over
+// mtu with StatusSlow.
+func sendProgram(t testing.TB, length, cksum header.Handle, mtu int64) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.PushSize()
+	b.PushConst(mtu)
+	b.Arith(Gt)
+	b.Abort(StatusSlow) // too large: fall back to the stack (frag layer)
+	b.PushSize()
+	b.PopField(length)
+	b.Digest(DigestInternet)
+	b.PopField(cksum)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// recvProgram verifies length and checksum, dropping mismatches.
+func recvProgram(t testing.TB, length, cksum header.Handle) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.PushField(length)
+	b.PushSize()
+	b.Arith(Ne)
+	b.Abort(StatusDrop)
+	b.PushField(cksum)
+	b.Digest(DigestInternet)
+	b.Arith(Ne)
+	b.Abort(StatusDrop)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSendRecvFilterRoundTrip(t *testing.T) {
+	s, length, cksum, _ := testSchema(t)
+	send := sendProgram(t, length, cksum, 1024)
+	recv := recvProgram(t, length, cksum)
+
+	env := newEnv(s, []byte("eight by"))
+	if got := send.Run(env); got != StatusOK {
+		t.Fatalf("send filter = %d", got)
+	}
+	if got := length.Read(env.Hdr[header.MsgSpec], env.Order); got != 8 {
+		t.Fatalf("len field = %d", got)
+	}
+	if got := recv.Run(env); got != StatusOK {
+		t.Fatalf("recv filter = %d", got)
+	}
+	// Corrupt the payload: the delivery filter must drop.
+	env.Payload[0] ^= 0xFF
+	if got := recv.Run(env); got != StatusDrop {
+		t.Fatalf("recv filter on corrupt payload = %d, want drop", got)
+	}
+}
+
+func TestSendFilterRejectsOversize(t *testing.T) {
+	s, length, cksum, _ := testSchema(t)
+	send := sendProgram(t, length, cksum, 4)
+	env := newEnv(s, []byte("too large"))
+	if got := send.Run(env); got != StatusSlow {
+		t.Fatalf("send filter = %d, want slow-path", got)
+	}
+}
+
+func TestArithOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{Add, 3, 4, 7}, {Sub, 10, 4, 6}, {Mul, 3, 4, 12},
+		{Div, 12, 4, 3}, {Mod, 10, 3, 1},
+		{And, 0b1100, 0b1010, 0b1000}, {Or, 0b1100, 0b1010, 0b1110},
+		{Xor, 0b1100, 0b1010, 0b0110}, {Shl, 1, 4, 16}, {Shr, 16, 4, 1},
+		{Eq, 5, 5, 1}, {Eq, 5, 6, 0}, {Ne, 5, 6, 1},
+		{Lt, 5, 6, 1}, {Le, 6, 6, 1}, {Gt, 7, 6, 1}, {Ge, 6, 7, 0},
+	}
+	for _, c := range cases {
+		got, fault := binop(c.op, c.a, c.b)
+		if fault || got != c.want {
+			t.Errorf("%s(%d,%d) = %d fault=%v, want %d", c.op, c.a, c.b, got, fault, c.want)
+		}
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	for _, op := range []Op{Div, Mod} {
+		b := NewBuilder()
+		b.PushConst(1)
+		b.PushConst(0)
+		b.Arith(op)
+		b.Return(0)
+		p := b.MustBuild()
+		if got := p.Run(&Env{}); got != StatusFault {
+			t.Errorf("%s by zero = %d, want fault", op, got)
+		}
+	}
+	b := NewBuilder()
+	b.PushConst(1)
+	b.PushConst(64)
+	b.Arith(Shl)
+	p := b.MustBuild()
+	if got := p.Run(&Env{}); got != StatusFault {
+		t.Errorf("shift 64 = %d, want fault", got)
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	// dup + sub -> 0; swap makes 2-1 = 1 into 1-2 = huge; use Not.
+	b := NewBuilder()
+	b.PushConst(7)
+	b.Arith(Dup)
+	b.Arith(Sub)
+	b.Arith(Not)
+	b.Abort(42)
+	b.Return(StatusSlow)
+	p := b.MustBuild()
+	if got := p.Run(&Env{}); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+
+	b = NewBuilder()
+	b.PushConst(2)
+	b.PushConst(1)
+	b.Arith(Swap) // now 1 2
+	b.Arith(Sub)  // 1-2 wraps
+	b.Abort(9)
+	b.Return(0)
+	p = b.MustBuild()
+	if got := p.Run(&Env{}); got != 9 {
+		t.Fatalf("swap/sub path = %d, want 9", got)
+	}
+}
+
+func TestValidationUnderflow(t *testing.T) {
+	b := NewBuilder()
+	b.Arith(Add)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidationUnreachable(t *testing.T) {
+	b := NewBuilder()
+	b.Return(0)
+	b.PushConst(1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidationInvalidHandle(t *testing.T) {
+	b := NewBuilder()
+	b.PushField(header.Handle{})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("invalid handle accepted")
+	}
+}
+
+func TestValidationBadDigest(t *testing.T) {
+	b := NewBuilder()
+	b.ins = append(b.ins, Instr{Op: Digest, Dig: DigestID(9999)})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unregistered digest accepted")
+	}
+}
+
+func TestMaxStackComputation(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.PushConst(int64(i))
+	}
+	for i := 0; i < 4; i++ {
+		b.Arith(Add)
+	}
+	b.Abort(1)
+	p := b.MustBuild()
+	if p.MaxStack() != 5 {
+		t.Fatalf("MaxStack = %d, want 5", p.MaxStack())
+	}
+}
+
+func TestSetConst(t *testing.T) {
+	b := NewBuilder()
+	idx := b.PushConst(10)
+	b.PushSize()
+	b.Arith(Lt) // const < size ?
+	b.Abort(StatusSlow)
+	p := b.MustBuild()
+	env := &Env{Payload: make([]byte, 20)}
+	if got := p.Run(env); got != StatusSlow {
+		t.Fatalf("pre-patch = %d", got)
+	}
+	// Post-processing rewrites the window limit (paper §3.3).
+	if err := p.SetConst(idx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Run(env); got != StatusOK {
+		t.Fatalf("post-patch = %d", got)
+	}
+	if err := p.SetConst(1, 5); err == nil {
+		t.Fatal("SetConst on non-const accepted")
+	}
+	if err := p.SetConst(99, 5); err == nil {
+		t.Fatal("SetConst out of range accepted")
+	}
+	// The compiled form shares storage, so the patch is visible there
+	// too.
+	if got := p.Compile().Run(env); got != StatusOK {
+		t.Fatalf("compiled post-patch = %d", got)
+	}
+}
+
+func TestFallOffEndReturnsOK(t *testing.T) {
+	b := NewBuilder()
+	b.PushConst(1)
+	b.PushConst(1)
+	b.Arith(Add)
+	b.Abort(0) // top is non-zero but status 0 == OK either way
+	p := b.MustBuild()
+	if got := p.Run(&Env{}); got != StatusOK {
+		t.Fatalf("got %d, want StatusOK", got)
+	}
+	// Truly empty program.
+	if got := NewBuilder().MustBuild().Run(&Env{}); got != StatusOK {
+		t.Fatalf("empty program = %d", got)
+	}
+}
+
+func TestInternetChecksum(t *testing.T) {
+	// RFC 1071 example: bytes 00 01 f2 03 f4 f5 f6 f7 sum to ddf2,
+	// checksum is its complement 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := InternetChecksum(b); got != 0x220d {
+		t.Fatalf("checksum = %#x, want 0x220d", got)
+	}
+	// Odd length pads with zero.
+	if got := InternetChecksum([]byte{0xFF}); got != uint64(^uint16(0xFF00)) {
+		t.Fatalf("odd checksum = %#x", got)
+	}
+	if got := InternetChecksum(nil); got != 0xFFFF {
+		t.Fatalf("empty checksum = %#x", got)
+	}
+}
+
+func TestDigestRegistry(t *testing.T) {
+	id := RegisterDigest("test-digest", func(b []byte) uint64 { return uint64(len(b)) })
+	got, ok := LookupDigest("test-digest")
+	if !ok || got != id {
+		t.Fatal("lookup failed")
+	}
+	if DigestName(id) != "test-digest" {
+		t.Fatalf("name = %q", DigestName(id))
+	}
+	if DigestName(DigestID(12345)) == "test-digest" {
+		t.Fatal("bogus id resolved")
+	}
+	// Re-registration replaces the function but keeps the id.
+	id2 := RegisterDigest("test-digest", func(b []byte) uint64 { return 7 })
+	if id2 != id {
+		t.Fatal("re-registration changed id")
+	}
+	fn, _ := digestFunc(id)
+	if fn(nil) != 7 {
+		t.Fatal("re-registration did not replace function")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	_, length, cksum, _ := testSchema(t)
+	p := sendProgram(t, length, cksum, 1024)
+	d := p.Disassemble()
+	for _, want := range []string{"push.size", "pop.field len", "digest inet16", "abort 1"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	s, _, _, _ := testSchema(t)
+	src := `
+	; verify length then checksum
+	push.field len
+	push.size
+	ne
+	abort -1    # drop
+	push.field chksum/ck
+	digest inet16
+	ne
+	abort -1
+	return 0
+`
+	p, err := Assemble(src, SchemaResolver(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 9 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	env := newEnv(s, []byte("hi"))
+	// Unfilled headers: length 0 != 2 -> drop.
+	if got := p.Run(env); got != StatusDrop {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	s, _, _, _ := testSchema(t)
+	r := SchemaResolver(s)
+	for _, src := range []string{
+		"frobnicate",
+		"push.const",
+		"push.const notanumber",
+		"push.field nosuchfield",
+		"digest nosuchdigest",
+		"add 3",
+		"push.field len extra",
+	} {
+		if _, err := Assemble(src, r); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSchemaResolverLayerQualified(t *testing.T) {
+	s := header.New()
+	a, _ := s.AddField(header.ProtoSpec, "l1", "x", 8, header.DontCare)
+	b, _ := s.AddField(header.Gossip, "l2", "x", 8, header.DontCare)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	r := SchemaResolver(s)
+	h, ok := r("x")
+	if !ok || h != a {
+		t.Fatal("unqualified lookup should find first registration")
+	}
+	h, ok = r("l2/x")
+	if !ok || h != b {
+		t.Fatal("qualified lookup failed")
+	}
+	if _, ok := r("l3/x"); ok {
+		t.Fatal("bogus layer resolved")
+	}
+}
+
+// Property: the compiled program agrees with the interpreter on random
+// programs built from random (but valid) instruction streams.
+func TestQuickCompiledMatchesInterpreter(t *testing.T) {
+	s, length, cksum, seq := testSchema(t)
+	handles := []header.Handle{length, cksum, seq}
+	f := func(seed int64, payload []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		depth := 0
+		n := 3 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			switch k := rng.Intn(10); {
+			case k < 3 || depth == 0:
+				switch rng.Intn(4) {
+				case 0:
+					b.PushConst(int64(rng.Uint64()))
+				case 1:
+					b.PushField(handles[rng.Intn(len(handles))])
+				case 2:
+					b.PushSize()
+				case 3:
+					b.Digest(DigestInternet)
+				}
+				depth++
+			case k < 6 && depth >= 2:
+				ops := []Op{Add, Sub, Mul, And, Or, Xor, Eq, Ne, Lt, Le, Gt, Ge}
+				b.Arith(ops[rng.Intn(len(ops))])
+				depth--
+			case k < 7:
+				b.PopField(handles[rng.Intn(len(handles))])
+				depth--
+			case k < 8:
+				b.Abort(int64(rng.Intn(5)))
+				depth--
+			case k < 9:
+				b.Arith(Dup)
+				depth++
+			default:
+				b.Arith(Not)
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return true // generator produced invalid program; skip
+		}
+		c := p.Compile()
+		envI := newEnv(s, payload)
+		envC := newEnv(s, payload)
+		ri := p.Run(envI)
+		rc := c.Run(envC)
+		if ri != rc {
+			return false
+		}
+		for cl := header.Class(0); cl < header.NumClasses; cl++ {
+			for i := range envI.Hdr[cl] {
+				if envI.Hdr[cl][i] != envC.Hdr[cl][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: assembling a disassembled program yields the same behaviour.
+func TestDisassembleAssembleIdentity(t *testing.T) {
+	s, length, cksum, _ := testSchema(t)
+	p := recvProgram(t, length, cksum)
+	p2, err := Assemble(p.Disassemble(), SchemaResolver(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env1 := newEnv(s, []byte("abc"))
+	env2 := newEnv(s, []byte("abc"))
+	if p.Run(env1) != p2.Run(env2) {
+		t.Fatal("reassembled program behaves differently")
+	}
+}
+
+func TestRunAllocationFree(t *testing.T) {
+	s, length, cksum, _ := testSchema(t)
+	send := sendProgram(t, length, cksum, 1024)
+	env := newEnv(s, []byte("payload!"))
+	allocs := testing.AllocsPerRun(100, func() { send.Run(env) })
+	if allocs != 0 {
+		t.Fatalf("Run allocates %.1f times per run", allocs)
+	}
+}
+
+func BenchmarkInterpreted(b *testing.B) {
+	s, length, cksum, _ := testSchema(b)
+	send := sendProgram(b, length, cksum, 1024)
+	env := newEnv(s, make([]byte, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if send.Run(env) != StatusOK {
+			b.Fatal("filter failed")
+		}
+	}
+}
+
+func BenchmarkCompiled(b *testing.B) {
+	s, length, cksum, _ := testSchema(b)
+	send := sendProgram(b, length, cksum, 1024).Compile()
+	env := newEnv(s, make([]byte, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if send.Run(env) != StatusOK {
+			b.Fatal("filter failed")
+		}
+	}
+}
+
+func BenchmarkInternetChecksum1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		InternetChecksum(buf)
+	}
+}

@@ -1,0 +1,75 @@
+package filter
+
+import (
+	"testing"
+
+	"paccel/internal/header"
+)
+
+// FuzzAssemble feeds arbitrary text through the assembler: it must never
+// panic, and anything it accepts must disassemble and reassemble to a
+// program with identical behaviourally-relevant shape.
+func FuzzAssemble(f *testing.F) {
+	s := header.New()
+	h1, _ := s.AddField(header.MsgSpec, "l", "len", 16, header.DontCare)
+	h2, _ := s.AddField(header.ProtoSpec, "l", "seq", 32, header.DontCare)
+	if err := s.Compile(); err != nil {
+		f.Fatal(err)
+	}
+	_ = h1
+	_ = h2
+	resolve := SchemaResolver(s)
+	f.Add("push.size\npop.field len\nreturn 0")
+	f.Add("push.field seq\npush.const 3\nne\nabort 1")
+	f.Add("; comment only")
+	f.Add("digest inet16\npop.field len")
+	f.Add("garbage op here")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, resolve)
+		if err != nil {
+			return
+		}
+		p2, err := Assemble(p.Disassemble(), resolve)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, p.Disassemble())
+		}
+		if p2.Len() != p.Len() || p2.MaxStack() != p.MaxStack() {
+			t.Fatalf("shape changed: %d/%d vs %d/%d",
+				p.Len(), p.MaxStack(), p2.Len(), p2.MaxStack())
+		}
+	})
+}
+
+// FuzzRunNeverPanics executes accepted programs on arbitrary payloads.
+func FuzzRunNeverPanics(f *testing.F) {
+	s := header.New()
+	ln, _ := s.AddField(header.MsgSpec, "l", "len", 16, header.DontCare)
+	ck, _ := s.AddField(header.MsgSpec, "l", "ck", 16, header.DontCare)
+	if err := s.Compile(); err != nil {
+		f.Fatal(err)
+	}
+	resolve := SchemaResolver(s)
+	_ = ln
+	_ = ck
+	f.Add("push.size\npop.field len\ndigest inet16\npop.field ck", []byte("payload"))
+	f.Add("push.field len\npush.size\nne\nabort -1", []byte{})
+	f.Fuzz(func(t *testing.T, src string, payload []byte) {
+		p, err := Assemble(src, resolve)
+		if err != nil {
+			return
+		}
+		env := func() *Env {
+			e := &Env{Payload: payload}
+			for c := header.Class(0); c < header.NumClasses; c++ {
+				e.Hdr[c] = make([]byte, s.Size(c))
+			}
+			return e
+		}
+		r1 := p.Run(env())
+		r2 := p.Compile().Run(env())
+		r3 := p.Optimize().Run(env())
+		if r1 != r2 || r1 != r3 {
+			t.Fatalf("strategies disagree: %d %d %d on %q", r1, r2, r3, src)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package filter implements the Protocol Accelerator's packet filters
+// (paper §3.3, Table 2).
+//
+// A packet filter is a small stack-machine program, constructed at run
+// time by the protocol layers themselves, that handles the
+// message-specific header information the PA cannot predict. Unusually,
+// filters run in both paths: the send filter *writes* header fields
+// (lengths, checksums, timestamps) via POP_FIELD, and the delivery filter
+// verifies them. Programs have no loops or calls, so they can be validated
+// in advance and their exact stack need computed (§3.3).
+//
+// A program finishes with an integer status:
+//
+//	StatusOK   (0) — fast path may proceed
+//	StatusDrop     — discard the message (e.g. checksum mismatch)
+//	anything else  — fall back to the layered slow path (e.g. a message
+//	                 too large to send unfragmented)
+//
+// This reconciles the paper's Figure 3 (boolean use) with §3.3's
+// "non-zero value → execute the pre-processing phase".
+package filter
+
+import "fmt"
+
+// Op is a packet filter operation code (paper Table 2).
+type Op uint8
+
+// The operation set. PushConst..Abort are the paper's Table 2; Dup, Swap
+// and Not are the "customized instructions" convenience ops; the *Fast
+// variants are produced automatically by Program.Compile for conveniently
+// aligned fields.
+const (
+	// Nop does nothing; patched-out instructions become Nops.
+	Nop Op = iota
+	// PushConst pushes Arg onto the stack.
+	PushConst
+	// PushField pushes the value of Field.
+	PushField
+	// PushSize pushes the size of the message payload in bytes.
+	PushSize
+	// PushTime pushes the engine-supplied message timestamp (Env.Time).
+	// It is one of the "customized instructions": the paper names
+	// timestamps as message-specific information, which only a filter
+	// can fill in.
+	PushTime
+	// Digest pushes a message digest of the payload, computed by the
+	// registered digest function identified by Dig.
+	Digest
+	// PopField pops the top of stack into Field. This is the write
+	// capability that makes send filters able to fill in headers.
+	PopField
+	// Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr pop two entries,
+	// apply the operation (second-from-top OP top) and push the result.
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	// Eq, Ne, Lt, Le, Gt, Ge pop two entries and push 1 if
+	// (second-from-top CMP top), else 0. Comparisons are unsigned.
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	// Not pops the top entry and pushes its logical negation (1 if
+	// zero, else 0).
+	Not
+	// Dup duplicates the top entry.
+	Dup
+	// Swap exchanges the top two entries.
+	Swap
+	// Return finishes the program with status Arg.
+	Return
+	// Abort pops the top entry; if it is non-zero the program finishes
+	// with status Arg, otherwise execution continues.
+	Abort
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", PushConst: "push.const", PushField: "push.field",
+	PushSize: "push.size", PushTime: "push.time", Digest: "digest", PopField: "pop.field",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+	Not: "not", Dup: "dup", Swap: "swap",
+	Return: "return", Abort: "abort",
+}
+
+// String returns the assembler mnemonic for the op.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// stackEffect returns (pops, pushes) for the op. Return and Abort are
+// handled specially by validation.
+func (o Op) stackEffect() (pops, pushes int) {
+	switch o {
+	case Nop:
+		return 0, 0
+	case PushConst, PushField, PushSize, PushTime, Digest:
+		return 0, 1
+	case PopField:
+		return 1, 0
+	case Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+		Eq, Ne, Lt, Le, Gt, Ge:
+		return 2, 1
+	case Not:
+		return 1, 1
+	case Dup:
+		return 1, 2
+	case Swap:
+		return 2, 2
+	case Return:
+		return 0, 0
+	case Abort:
+		return 1, 0
+	}
+	return 0, 0
+}
+
+// binary reports whether the op is a two-operand arithmetic/comparison.
+func (o Op) binary() bool {
+	switch o {
+	case Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+		Eq, Ne, Lt, Le, Gt, Ge:
+		return true
+	}
+	return false
+}
+
+// Result statuses. Any status other than StatusOK and StatusDrop requests
+// the layered slow path; layers may use distinct non-zero values to tag
+// the reason.
+const (
+	// StatusOK allows the fast path to proceed.
+	StatusOK = 0
+	// StatusSlow is the conventional "fall back to the protocol stack"
+	// status.
+	StatusSlow = 1
+	// StatusDrop discards the message (delivery path only; on the send
+	// path it is treated as a send error).
+	StatusDrop = -1
+	// StatusFault is returned by the VM itself on a runtime fault
+	// (division by zero). Treated like StatusDrop by the delivery path.
+	StatusFault = -2
+)

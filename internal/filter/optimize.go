@@ -1,0 +1,180 @@
+package filter
+
+import (
+	"encoding/binary"
+
+	"paccel/internal/bits"
+	"paccel/internal/header"
+)
+
+// Optimize lowers the program like Compile, additionally fusing common
+// instruction pairs into single steps — the paper's plan to "compile
+// highly optimized code for the in-line by-pass function on the fly"
+// (§6). The fused patterns are the ones the canonical filters are made
+// of:
+//
+//	PushSize ; PopField f          → store the payload size directly
+//	Digest d ; PopField f          → store the digest directly
+//	PushTime ; PopField f          → store the timestamp directly
+//	PushField f ; PushSize ; Ne ; Abort s → compare-and-maybe-return
+//	PushField f ; Digest d ; Ne ; Abort s → verify-digest-and-maybe-return
+//
+// Fused steps skip the operand stack entirely. Semantics are identical to
+// Run/Compile; TestQuickOptimizedMatchesInterpreter asserts it.
+//
+// SetConst patches are visible to an Optimized program only for
+// instructions that were not fused away; optimize after patching, or
+// avoid patching fused regions.
+func (p *Program) Optimize() *Compiled {
+	c := &Compiled{maxStack: p.maxStack}
+	for i := 0; i < len(p.ins); {
+		if st, used := fuse(p.ins[i:]); used > 0 {
+			c.steps = append(c.steps, st)
+			i += used
+			continue
+		}
+		c.steps = append(c.steps, compileInstr(&p.ins[i]))
+		i++
+	}
+	return c
+}
+
+// fuse recognizes a fusable prefix of ins and returns its step and length.
+func fuse(ins []Instr) (step, int) {
+	// value-producer ; PopField
+	if len(ins) >= 2 && ins[1].Op == PopField {
+		if w := fieldWriter(ins[1].Field); w != nil {
+			switch ins[0].Op {
+			case PushSize:
+				return func(env *Env, stack []uint64) (int, bool, []uint64) {
+					w(env, uint64(len(env.Payload)))
+					return 0, false, stack
+				}, 2
+			case PushTime:
+				return func(env *Env, stack []uint64) (int, bool, []uint64) {
+					w(env, env.Time)
+					return 0, false, stack
+				}, 2
+			case Digest:
+				if fn, ok := digestFunc(ins[0].Dig); ok {
+					return func(env *Env, stack []uint64) (int, bool, []uint64) {
+						w(env, fn(env.Payload))
+						return 0, false, stack
+					}, 2
+				}
+			case PushConst:
+				v := uint64(ins[0].Arg)
+				return func(env *Env, stack []uint64) (int, bool, []uint64) {
+					w(env, v)
+					return 0, false, stack
+				}, 2
+			}
+		}
+	}
+	// PushField f ; producer ; Ne ; Abort s
+	if len(ins) >= 4 && ins[0].Op == PushField &&
+		ins[2].Op == Ne && ins[3].Op == Abort {
+		r := fieldReader(ins[0].Field)
+		status := int(ins[3].Arg)
+		switch ins[1].Op {
+		case PushSize:
+			return func(env *Env, stack []uint64) (int, bool, []uint64) {
+				if r(env) != uint64(len(env.Payload)) {
+					return status, true, stack
+				}
+				return 0, false, stack
+			}, 4
+		case Digest:
+			if fn, ok := digestFunc(ins[1].Dig); ok {
+				return func(env *Env, stack []uint64) (int, bool, []uint64) {
+					if r(env) != fn(env.Payload) {
+						return status, true, stack
+					}
+					return 0, false, stack
+				}, 4
+			}
+		case PushConst:
+			v := uint64(ins[1].Arg)
+			return func(env *Env, stack []uint64) (int, bool, []uint64) {
+				if r(env) != v {
+					return status, true, stack
+				}
+				return 0, false, stack
+			}, 4
+		}
+	}
+	// PushSize ; PushConst k ; Gt ; Abort s  (the frag layer's guard)
+	if len(ins) >= 4 && ins[0].Op == PushSize && ins[1].Op == PushConst &&
+		ins[2].Op == Gt && ins[3].Op == Abort {
+		limit := uint64(ins[1].Arg)
+		status := int(ins[3].Arg)
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			if uint64(len(env.Payload)) > limit {
+				return status, true, stack
+			}
+			return 0, false, stack
+		}, 4
+	}
+	return nil, 0
+}
+
+// fieldWriter returns a direct store for h, or nil if the geometry has no
+// fast path worth fusing.
+func fieldWriter(h header.Handle) func(env *Env, v uint64) {
+	cls, off, size := h.Class(), h.Offset(), h.SizeBits()
+	if bits.Aligned(off, size) {
+		byteOff := off / 8
+		switch size {
+		case 16:
+			return func(env *Env, v uint64) {
+				b := env.Hdr[cls][byteOff:]
+				if env.Order == bits.LittleEndian {
+					binary.LittleEndian.PutUint16(b, uint16(v))
+				} else {
+					binary.BigEndian.PutUint16(b, uint16(v))
+				}
+			}
+		case 32:
+			return func(env *Env, v uint64) {
+				b := env.Hdr[cls][byteOff:]
+				if env.Order == bits.LittleEndian {
+					binary.LittleEndian.PutUint32(b, uint32(v))
+				} else {
+					binary.BigEndian.PutUint32(b, uint32(v))
+				}
+			}
+		}
+	}
+	return func(env *Env, v uint64) {
+		h.Write(env.Hdr[cls], env.Order, v)
+	}
+}
+
+// fieldReader returns a direct load for h.
+func fieldReader(h header.Handle) func(env *Env) uint64 {
+	cls, off, size := h.Class(), h.Offset(), h.SizeBits()
+	if bits.Aligned(off, size) {
+		byteOff := off / 8
+		switch size {
+		case 16:
+			return func(env *Env) uint64 {
+				b := env.Hdr[cls][byteOff:]
+				if env.Order == bits.LittleEndian {
+					return uint64(binary.LittleEndian.Uint16(b))
+				}
+				return uint64(binary.BigEndian.Uint16(b))
+			}
+		case 32:
+			return func(env *Env) uint64 {
+				b := env.Hdr[cls][byteOff:]
+				if env.Order == bits.LittleEndian {
+					return uint64(binary.LittleEndian.Uint32(b))
+				}
+				return uint64(binary.BigEndian.Uint32(b))
+			}
+		}
+	}
+	return func(env *Env) uint64 {
+		return h.Read(env.Hdr[cls], env.Order)
+	}
+}

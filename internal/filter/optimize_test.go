@@ -1,0 +1,174 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paccel/internal/header"
+)
+
+func TestOptimizedSendFilter(t *testing.T) {
+	s, length, cksum, _ := testSchema(t)
+	prog := sendProgram(t, length, cksum, 1024)
+	opt := prog.Optimize()
+	// The canonical send filter (4 guard ops + two fill pairs) fuses
+	// into 3 steps.
+	if len(opt.steps) >= prog.Len() {
+		t.Fatalf("no fusion: %d steps from %d instructions", len(opt.steps), prog.Len())
+	}
+	env := newEnv(s, []byte("payload!"))
+	if got := opt.Run(env); got != StatusOK {
+		t.Fatalf("optimized run = %d", got)
+	}
+	if got := length.Read(env.Hdr[header.MsgSpec], env.Order); got != 8 {
+		t.Fatalf("len = %d", got)
+	}
+	if got := cksum.Read(env.Hdr[header.MsgSpec], env.Order); got != InternetChecksum([]byte("payload!")) {
+		t.Fatalf("ck = %#x", got)
+	}
+	// The oversize guard still fires.
+	big := newEnv(s, make([]byte, 2048))
+	if got := opt.Run(big); got != StatusSlow {
+		t.Fatalf("oversize = %d", got)
+	}
+}
+
+func TestOptimizedRecvFilter(t *testing.T) {
+	s, length, cksum, _ := testSchema(t)
+	send := sendProgram(t, length, cksum, 1024)
+	recv := recvProgram(t, length, cksum).Optimize()
+	env := newEnv(s, []byte("verify me"))
+	if send.Run(env) != StatusOK {
+		t.Fatal("send failed")
+	}
+	if got := recv.Run(env); got != StatusOK {
+		t.Fatalf("recv = %d", got)
+	}
+	env.Payload[0] ^= 1
+	if got := recv.Run(env); got != StatusDrop {
+		t.Fatalf("corrupt recv = %d", got)
+	}
+}
+
+func TestOptimizedTimestampFusion(t *testing.T) {
+	s := header.New()
+	ts, err := s.AddField(header.MsgSpec, "stamp", "ts", 32, header.DontCare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	b.PushTime()
+	b.PopField(ts)
+	prog := b.MustBuild()
+	opt := prog.Optimize()
+	if len(opt.steps) != 1 {
+		t.Fatalf("steps = %d, want 1", len(opt.steps))
+	}
+	env := newEnv(s, nil)
+	env.Time = 987654
+	opt.Run(env)
+	if got := ts.Read(env.Hdr[header.MsgSpec], env.Order); got != 987654 {
+		t.Fatalf("ts = %d", got)
+	}
+}
+
+func TestOptimizedConstComparison(t *testing.T) {
+	s, _, _, seq := testSchema(t)
+	b := NewBuilder()
+	b.PushField(seq)
+	b.PushConst(7)
+	b.Arith(Ne)
+	b.Abort(StatusSlow)
+	prog := b.MustBuild()
+	opt := prog.Optimize()
+	if len(opt.steps) != 1 {
+		t.Fatalf("steps = %d", len(opt.steps))
+	}
+	env := newEnv(s, nil)
+	seq.Write(env.Hdr[header.ProtoSpec], env.Order, 7)
+	if opt.Run(env) != StatusOK {
+		t.Fatal("match rejected")
+	}
+	seq.Write(env.Hdr[header.ProtoSpec], env.Order, 8)
+	if opt.Run(env) != StatusSlow {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+// Property: Optimize agrees with the interpreter on random programs.
+func TestQuickOptimizedMatchesInterpreter(t *testing.T) {
+	s, length, cksum, seq := testSchema(t)
+	handles := []header.Handle{length, cksum, seq}
+	f := func(seed int64, payload []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		depth := 0
+		n := 2 + rng.Intn(16)
+		for i := 0; i < n; i++ {
+			switch k := rng.Intn(12); {
+			case k < 4 || depth == 0:
+				switch rng.Intn(5) {
+				case 0:
+					b.PushConst(int64(rng.Intn(1 << 16)))
+				case 1:
+					b.PushField(handles[rng.Intn(len(handles))])
+				case 2:
+					b.PushSize()
+				case 3:
+					b.PushTime()
+				case 4:
+					b.Digest(DigestInternet)
+				}
+				depth++
+			case k < 7 && depth >= 2:
+				ops := []Op{Add, Sub, Ne, Eq, Gt, Lt}
+				b.Arith(ops[rng.Intn(len(ops))])
+				depth--
+			case k < 9:
+				b.PopField(handles[rng.Intn(len(handles))])
+				depth--
+			default:
+				b.Abort(int64(rng.Intn(3)))
+				depth--
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return true
+		}
+		o := p.Optimize()
+		envI := newEnv(s, payload)
+		envO := newEnv(s, payload)
+		envI.Time, envO.Time = 42, 42
+		if p.Run(envI) != o.Run(envO) {
+			return false
+		}
+		for cl := header.Class(0); cl < header.NumClasses; cl++ {
+			for i := range envI.Hdr[cl] {
+				if envI.Hdr[cl][i] != envO.Hdr[cl][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOptimized(b *testing.B) {
+	s, length, cksum, _ := testSchema(b)
+	opt := sendProgram(b, length, cksum, 1024).Optimize()
+	env := newEnv(s, make([]byte, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if opt.Run(env) != StatusOK {
+			b.Fatal("filter failed")
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+
+	"paccel/internal/header"
+)
+
+// Instr is one packet filter instruction.
+type Instr struct {
+	Op    Op
+	Arg   int64         // PushConst value; Return/Abort status
+	Field header.Handle // PushField / PopField target
+	Dig   DigestID      // Digest function
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case PushConst, Return, Abort:
+		return fmt.Sprintf("%s %d", in.Op, in.Arg)
+	case PushField, PopField:
+		return fmt.Sprintf("%s %s", in.Op, in.Field.Name())
+	case Digest:
+		return fmt.Sprintf("%s %s", in.Op, DigestName(in.Dig))
+	}
+	return in.Op.String()
+}
+
+// Program is a validated, immutable-length packet filter program.
+// Instruction arguments may be patched at run time (the paper: "part of
+// the packet filter program may be rewritten when the protocol state is
+// updated in the post-processing phase"), but the instruction sequence —
+// and therefore the validation result — is fixed.
+type Program struct {
+	ins      []Instr
+	maxStack int
+}
+
+// Instructions returns a copy of the program's instructions.
+func (p *Program) Instructions() []Instr { return append([]Instr(nil), p.ins...) }
+
+// MaxStack returns the statically computed stack requirement.
+func (p *Program) MaxStack() int { return p.maxStack }
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.ins) }
+
+// SetConst patches the argument of the PushConst instruction at index i.
+// It is the run-time rewriting hook for state-dependent message-specific
+// information. It returns an error if instruction i is not a PushConst.
+func (p *Program) SetConst(i int, v int64) error {
+	if i < 0 || i >= len(p.ins) {
+		return fmt.Errorf("filter: SetConst index %d out of range", i)
+	}
+	if p.ins[i].Op != PushConst {
+		return fmt.Errorf("filter: SetConst on %s instruction", p.ins[i].Op)
+	}
+	p.ins[i].Arg = v
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.ins {
+		fmt.Fprintf(&b, "%3d  %s\n", i, in.String())
+	}
+	return b.String()
+}
+
+// Builder accumulates instructions for a packet filter. Each protocol
+// layer appends the instructions for its own message-specific fields
+// during stack initialization; Build validates the combined program.
+type Builder struct {
+	ins []Instr
+	err error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Err returns the first error recorded by an emit call.
+func (b *Builder) Err() error { return b.err }
+
+// Len returns the number of instructions emitted so far; layers use it to
+// remember patchable instruction indices.
+func (b *Builder) Len() int { return len(b.ins) }
+
+func (b *Builder) emit(in Instr) int {
+	b.ins = append(b.ins, in)
+	return len(b.ins) - 1
+}
+
+// PushConst emits a push of constant v and returns the instruction index
+// (for later SetConst patching).
+func (b *Builder) PushConst(v int64) int { return b.emit(Instr{Op: PushConst, Arg: v}) }
+
+// PushField emits a push of field h.
+func (b *Builder) PushField(h header.Handle) int {
+	if !h.Valid() {
+		b.fail("PushField with invalid handle")
+	}
+	return b.emit(Instr{Op: PushField, Field: h})
+}
+
+// PushSize emits a push of the payload size.
+func (b *Builder) PushSize() int { return b.emit(Instr{Op: PushSize}) }
+
+// PushTime emits a push of the engine-supplied message timestamp.
+func (b *Builder) PushTime() int { return b.emit(Instr{Op: PushTime}) }
+
+// Digest emits a digest push.
+func (b *Builder) Digest(id DigestID) int { return b.emit(Instr{Op: Digest, Dig: id}) }
+
+// PopField emits a pop into field h.
+func (b *Builder) PopField(h header.Handle) int {
+	if !h.Valid() {
+		b.fail("PopField with invalid handle")
+	}
+	return b.emit(Instr{Op: PopField, Field: h})
+}
+
+// Arith emits a binary arithmetic/comparison/stack op or Not/Dup/Swap.
+func (b *Builder) Arith(op Op) int {
+	switch {
+	case op.binary(), op == Not, op == Dup, op == Swap, op == Nop:
+	default:
+		b.fail(fmt.Sprintf("Arith with non-arithmetic op %s", op))
+	}
+	return b.emit(Instr{Op: op})
+}
+
+// Return emits a terminal return of status v.
+func (b *Builder) Return(v int64) int { return b.emit(Instr{Op: Return, Arg: v}) }
+
+// Abort emits a conditional return: pops the top entry and finishes with
+// status v if it was non-zero.
+func (b *Builder) Abort(v int64) int { return b.emit(Instr{Op: Abort, Arg: v}) }
+
+func (b *Builder) fail(msg string) {
+	if b.err == nil {
+		b.err = fmt.Errorf("filter: %s", msg)
+	}
+}
+
+// Build validates the program and returns it. Validation checks that the
+// stack never underflows, that every digest id is registered, and computes
+// the maximum stack depth (possible because programs have no loops, §3.3).
+// A program that falls off the end returns StatusOK.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	depth, maxDepth := 0, 0
+	for i, in := range b.ins {
+		pops, pushes := in.Op.stackEffect()
+		if _, known := opNames[in.Op]; !known {
+			return nil, fmt.Errorf("filter: instruction %d: unknown op %d", i, uint8(in.Op))
+		}
+		if in.Op == Digest {
+			if _, ok := digestFunc(in.Dig); !ok {
+				return nil, fmt.Errorf("filter: instruction %d: unregistered digest %d", i, in.Dig)
+			}
+		}
+		if (in.Op == PushField || in.Op == PopField) && !in.Field.Valid() {
+			return nil, fmt.Errorf("filter: instruction %d: invalid field handle", i)
+		}
+		if depth < pops {
+			return nil, fmt.Errorf("filter: instruction %d (%s): stack underflow (depth %d, needs %d)",
+				i, in.Op, depth, pops)
+		}
+		depth += pushes - pops
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if in.Op == Return && i < len(b.ins)-1 {
+			return nil, fmt.Errorf("filter: instruction %d: unreachable code after return", i)
+		}
+	}
+	ins := append([]Instr(nil), b.ins...)
+	return &Program{ins: ins, maxStack: maxDepth}, nil
+}
+
+// MustBuild is Build that panics on error, for statically correct
+// programs in tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

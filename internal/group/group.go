@@ -1,0 +1,329 @@
+// Package group extends the Protocol Accelerator to group communication —
+// the paper presents point-to-point "for clarity, but the techniques
+// extend to multicast protocols" (§1), and Horus itself is a group
+// communication system.
+//
+// A group is built from ordinary accelerated point-to-point connections,
+// one per peer, so every member-to-member channel enjoys the PA fast
+// path, compact headers, and reliability. On top of those FIFO
+// exactly-once channels the group offers two delivery orders:
+//
+//   - FIFO: sends fan out directly; receivers observe each sender's
+//     messages in that sender's order (per-channel FIFO gives per-sender
+//     FIFO).
+//   - Total: a fixed sequencer member orders all messages. Because every
+//     sequenced message reaches a member over the single FIFO channel
+//     from the sequencer, total order needs no holdback queue — the
+//     channel is the order.
+package group
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Order selects the group's delivery ordering guarantee.
+type Order int
+
+// Delivery orders.
+const (
+	// FIFO delivers each sender's messages in the order it sent them.
+	FIFO Order = iota
+	// Total delivers all messages in one global order, identical at
+	// every member, via a sequencer.
+	Total
+)
+
+// Conn is the point-to-point surface the group needs; *core.Conn
+// satisfies it.
+type Conn interface {
+	Send(payload []byte) error
+	OnDeliver(fn func(payload []byte))
+}
+
+// ErrNoSequencer is returned by Send in Total order when the sequencer is
+// neither the local member nor joined.
+var ErrNoSequencer = errors.New("group: sequencer not reachable")
+
+// Frame kinds on the wire (first byte of every group frame).
+const (
+	kindFIFO      = 0 // direct fan-out data
+	kindToSeq     = 1 // unsequenced data on its way to the sequencer
+	kindSequenced = 2 // sequencer-ordered broadcast
+)
+
+// Frame control classes (second byte): application data or a membership
+// view announcement (see views.go).
+const (
+	ctlApp  = 0
+	ctlView = 1
+)
+
+// Group is one member's view of a process group.
+type Group struct {
+	self      string
+	order     Order
+	sequencer string
+
+	mu      sync.Mutex
+	members map[string]Conn
+	deliver func(origin string, payload []byte)
+
+	nextSeq  uint32 // sequencer only: next global sequence number
+	lastSeen uint32 // diagnostic: last sequenced number delivered
+
+	view   View
+	onView func(v View)
+
+	stats Stats
+}
+
+// Stats counts group events at this member.
+type Stats struct {
+	Sent, Delivered   uint64
+	Sequenced         uint64 // messages this member ordered (sequencer only)
+	Forwarded         uint64 // messages sent to the sequencer
+	FanoutUnicast     uint64 // point-to-point sends performed
+	DeliveredInOrder  uint64
+	DeliveredFIFOOnly uint64
+}
+
+// New creates this member's group view. For Total order, sequencer names
+// the ordering member (which may be self).
+func New(self string, order Order, sequencer string) *Group {
+	return &Group{
+		self:      self,
+		order:     order,
+		sequencer: sequencer,
+		members:   make(map[string]Conn),
+	}
+}
+
+// Self returns this member's name.
+func (g *Group) Self() string { return g.self }
+
+// OnDeliver installs the application delivery callback. origin names the
+// member whose Send produced the payload.
+func (g *Group) OnDeliver(fn func(origin string, payload []byte)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.deliver = fn
+}
+
+// Join attaches the point-to-point connection to peer and starts
+// consuming its deliveries. Join every peer before sending.
+func (g *Group) Join(peer string, conn Conn) {
+	g.mu.Lock()
+	g.members[peer] = conn
+	g.mu.Unlock()
+	conn.OnDeliver(func(p []byte) { g.onWire(peer, p) })
+}
+
+// Members returns the joined peer names.
+func (g *Group) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.members))
+	for n := range g.members {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Stats returns a snapshot of the counters.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// LastSequenced returns the last global sequence number delivered (Total
+// order).
+func (g *Group) LastSequenced() uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lastSeen
+}
+
+// Send multicasts payload to the group, including local delivery to this
+// member, under the configured ordering.
+func (g *Group) Send(payload []byte) error {
+	g.mu.Lock()
+	g.stats.Sent++
+	g.mu.Unlock()
+	switch g.order {
+	case Total:
+		return g.sendTotal(payload)
+	default:
+		return g.sendFIFO(payload)
+	}
+}
+
+// sendFIFO fans out directly and delivers locally.
+func (g *Group) sendFIFO(payload []byte) error {
+	frame := encodeFrame(kindFIFO, ctlApp, g.self, 0, payload)
+	if err := g.fanout(frame, ""); err != nil {
+		return err
+	}
+	g.deliverUp(g.self, payload, false)
+	return nil
+}
+
+// sendTotal routes through the sequencer.
+func (g *Group) sendTotal(payload []byte) error {
+	return g.sendTotalCtl(ctlApp, payload)
+}
+
+func (g *Group) sendTotalCtl(ctl byte, payload []byte) error {
+	if g.self == g.sequencer {
+		// The sequencer orders its own messages directly.
+		g.sequenceAndBroadcast(ctl, g.self, payload)
+		return nil
+	}
+	g.mu.Lock()
+	seqConn := g.members[g.sequencer]
+	g.stats.Forwarded++
+	g.mu.Unlock()
+	if seqConn == nil {
+		return ErrNoSequencer
+	}
+	return seqConn.Send(encodeFrame(kindToSeq, ctl, g.self, 0, payload))
+}
+
+// sequenceAndBroadcast assigns the next global number and fans the
+// sequenced frame out to every member (origin included — it delivers at
+// the sequenced position like everyone else).
+func (g *Group) sequenceAndBroadcast(ctl byte, origin string, payload []byte) {
+	g.mu.Lock()
+	seq := g.nextSeq
+	g.nextSeq++
+	g.stats.Sequenced++
+	g.mu.Unlock()
+	frame := encodeFrame(kindSequenced, ctl, origin, seq, payload)
+	_ = g.fanout(frame, "")
+	g.deliverSequenced(ctl, origin, seq, payload) // sequencer's own delivery
+}
+
+// fanout unicasts frame to every member except skip.
+func (g *Group) fanout(frame []byte, skip string) error {
+	g.mu.Lock()
+	conns := make(map[string]Conn, len(g.members))
+	for n, c := range g.members {
+		if n != skip {
+			conns[n] = c
+		}
+	}
+	g.stats.FanoutUnicast += uint64(len(conns))
+	g.mu.Unlock()
+	var firstErr error
+	for _, c := range conns {
+		if err := c.Send(frame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// onWire handles a frame arriving from peer.
+func (g *Group) onWire(peer string, frame []byte) {
+	kind, ctl, origin, seq, payload, err := decodeFrame(frame)
+	if err != nil {
+		return // malformed frames are dropped, like the PA router
+	}
+	switch kind {
+	case kindFIFO:
+		// Direct fan-out frames are only meaningful in FIFO order; in
+		// Total order they would bypass the sequencer.
+		if g.order == FIFO && ctl == ctlApp {
+			g.deliverUp(origin, payload, false)
+		}
+	case kindToSeq:
+		if g.self == g.sequencer {
+			g.sequenceAndBroadcast(ctl, origin, payload)
+		}
+	case kindSequenced:
+		if peer != g.sequencer {
+			return // sequenced frames are only valid from the sequencer
+		}
+		g.deliverSequenced(ctl, origin, seq, payload)
+	}
+}
+
+func (g *Group) deliverSequenced(ctl byte, origin string, seq uint32, payload []byte) {
+	g.mu.Lock()
+	g.lastSeen = seq
+	g.mu.Unlock()
+	if ctl == ctlView {
+		if v, err := decodeView(payload); err == nil {
+			g.installView(v)
+		}
+		return
+	}
+	g.deliverUp(origin, payload, true)
+}
+
+func (g *Group) deliverUp(origin string, payload []byte, ordered bool) {
+	g.mu.Lock()
+	g.stats.Delivered++
+	if ordered {
+		g.stats.DeliveredInOrder++
+	} else {
+		g.stats.DeliveredFIFOOnly++
+	}
+	fn := g.deliver
+	g.mu.Unlock()
+	if fn != nil {
+		fn(origin, payload)
+	}
+}
+
+// Frame layout: kind(1) | ctl(1) | originLen(1) | origin | gseq(4,
+// kindSequenced only) | payload.
+func encodeFrame(kind, ctl byte, origin string, seq uint32, payload []byte) []byte {
+	if len(origin) > 255 {
+		origin = origin[:255]
+	}
+	n := 3 + len(origin) + len(payload)
+	if kind == kindSequenced {
+		n += 4
+	}
+	f := make([]byte, 0, n)
+	f = append(f, kind, ctl, byte(len(origin)))
+	f = append(f, origin...)
+	if kind == kindSequenced {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], seq)
+		f = append(f, b[:]...)
+	}
+	return append(f, payload...)
+}
+
+func decodeFrame(f []byte) (kind, ctl byte, origin string, seq uint32, payload []byte, err error) {
+	if len(f) < 3 {
+		return 0, 0, "", 0, nil, fmt.Errorf("group: short frame")
+	}
+	kind, ctl = f[0], f[1]
+	if kind > kindSequenced {
+		return 0, 0, "", 0, nil, fmt.Errorf("group: unknown kind %d", kind)
+	}
+	if ctl > ctlView {
+		return 0, 0, "", 0, nil, fmt.Errorf("group: unknown control class %d", ctl)
+	}
+	ol := int(f[2])
+	rest := f[3:]
+	if len(rest) < ol {
+		return 0, 0, "", 0, nil, fmt.Errorf("group: truncated origin")
+	}
+	origin = string(rest[:ol])
+	rest = rest[ol:]
+	if kind == kindSequenced {
+		if len(rest) < 4 {
+			return 0, 0, "", 0, nil, fmt.Errorf("group: truncated sequence")
+		}
+		seq = binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+	}
+	return kind, ctl, origin, seq, rest, nil
+}

@@ -1,0 +1,98 @@
+package group
+
+import (
+	"fmt"
+
+	"paccel/internal/core"
+	"paccel/internal/netsim"
+	"paccel/internal/vclock"
+)
+
+// Mesh is a fully connected set of group members over one simulated
+// network: each member has an accelerated point-to-point connection to
+// every other member.
+type Mesh struct {
+	Groups map[string]*Group
+	net    *netsim.Network
+	eps    []*core.Endpoint
+}
+
+// NewMesh builds endpoints and the full mesh of PA connections for the
+// given member names, then wires a Group per member with the requested
+// ordering. In Total order, sequencer must be one of the names.
+func NewMesh(names []string, clk vclock.Clock, netCfg netsim.Config, order Order, sequencer string) (*Mesh, error) {
+	return NewMeshBuild(names, clk, netCfg, order, sequencer, nil)
+}
+
+// NewMeshBuild is NewMesh with a custom per-connection stack builder
+// (e.g. to add heartbeat layers for failure detection).
+func NewMeshBuild(names []string, clk vclock.Clock, netCfg netsim.Config, order Order, sequencer string, build core.StackBuilder) (*Mesh, error) {
+	if order == Total {
+		found := false
+		for _, n := range names {
+			if n == sequencer {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("group: sequencer %q not a member", sequencer)
+		}
+	}
+	net := netsim.New(clk, netCfg)
+	m := &Mesh{Groups: make(map[string]*Group), net: net}
+	eps := make(map[string]*core.Endpoint)
+	for _, n := range names {
+		ep, err := core.NewEndpoint(core.Config{
+			Transport: net.Endpoint(n),
+			Clock:     clk,
+			Build:     build,
+		})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		eps[n] = ep
+		m.eps = append(m.eps, ep)
+		m.Groups[n] = New(n, order, sequencer)
+	}
+	// Dial every ordered pair; ports derive from the member indices so
+	// both directions agree on the identification.
+	idx := make(map[string]uint16, len(names))
+	for i, n := range names {
+		idx[n] = uint16(i + 1)
+	}
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			conn, err := eps[a].Dial(core.PeerSpec{
+				Addr:    b,
+				LocalID: []byte(a), RemoteID: []byte(b),
+				LocalPort: idx[a], RemotePort: idx[b],
+				Epoch: 1,
+			})
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			m.Groups[a].Join(b, conn)
+		}
+	}
+	return m, nil
+}
+
+// Net exposes the underlying simulated network (partitions, stats).
+func (m *Mesh) Net() *netsim.Network { return m.net }
+
+// Close shuts every endpoint down.
+func (m *Mesh) Close() {
+	for _, ep := range m.eps {
+		ep.Close()
+	}
+}
+
+// NewRealMesh is NewMesh on the wall clock, for examples and benchmarks.
+func NewRealMesh(names []string, netCfg netsim.Config, order Order, sequencer string) (*Mesh, error) {
+	return NewMesh(names, vclock.Real{}, netCfg, order, sequencer)
+}

@@ -1,0 +1,146 @@
+package group
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Views give the totally-ordered group a simplified form of virtual
+// synchrony — the property Horus is built around. A view is a numbered
+// membership snapshot. View changes are announced as ordinary sequenced
+// messages, so every member installs view v at exactly the same position
+// in the global message stream: any two members that install v have
+// delivered the identical set of messages before it. That is the
+// virtually-synchronous delivery guarantee, obtained here entirely from
+// total order.
+//
+// Views require Total order; ProposeView on a FIFO group returns
+// ErrNeedTotalOrder.
+
+// ErrNeedTotalOrder is returned by ProposeView on a FIFO-ordered group.
+var ErrNeedTotalOrder = errors.New("group: views require Total order")
+
+// View is one membership snapshot.
+type View struct {
+	// ID increases by one per installed view.
+	ID uint32
+	// Members is the sorted member list.
+	Members []string
+}
+
+// String renders the view compactly.
+func (v View) String() string {
+	return fmt.Sprintf("view %d {%s}", v.ID, strings.Join(v.Members, " "))
+}
+
+// Includes reports whether name is in the view.
+func (v View) Includes(name string) bool {
+	for _, m := range v.Members {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// OnView installs the view-change callback; it runs at the view's
+// position in the total order.
+func (g *Group) OnView(fn func(v View)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onView = fn
+}
+
+// CurrentView returns the last installed view (zero View before any).
+func (g *Group) CurrentView() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.view.clone()
+}
+
+func (v View) clone() View {
+	return View{ID: v.ID, Members: append([]string(nil), v.Members...)}
+}
+
+// ProposeView multicasts a new membership through the sequencer. Every
+// member — including the proposer — installs it at the same point in the
+// global order. The members list is normalized (sorted, deduplicated).
+func (g *Group) ProposeView(members []string) error {
+	if g.order != Total {
+		return ErrNeedTotalOrder
+	}
+	norm := normalizeMembers(members)
+	g.mu.Lock()
+	nextID := g.view.ID + 1
+	g.stats.Sent++
+	g.mu.Unlock()
+	return g.sendTotalCtl(ctlView, encodeView(View{ID: nextID, Members: norm}))
+}
+
+// normalizeMembers sorts and deduplicates.
+func normalizeMembers(members []string) []string {
+	seen := make(map[string]bool, len(members))
+	var out []string
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Group) installView(v View) {
+	g.mu.Lock()
+	if v.ID <= g.view.ID && g.view.ID != 0 {
+		g.mu.Unlock()
+		return // stale or duplicate proposal
+	}
+	g.view = v.clone()
+	fn := g.onView
+	g.mu.Unlock()
+	if fn != nil {
+		fn(v.clone())
+	}
+}
+
+// View wire form: id(4) | count(2) | { len(1) | name }...
+func encodeView(v View) []byte {
+	out := make([]byte, 6, 6+len(v.Members)*8)
+	binary.BigEndian.PutUint32(out, v.ID)
+	binary.BigEndian.PutUint16(out[4:], uint16(len(v.Members)))
+	for _, m := range v.Members {
+		if len(m) > 255 {
+			m = m[:255]
+		}
+		out = append(out, byte(len(m)))
+		out = append(out, m...)
+	}
+	return out
+}
+
+func decodeView(b []byte) (View, error) {
+	if len(b) < 6 {
+		return View{}, fmt.Errorf("group: short view")
+	}
+	v := View{ID: binary.BigEndian.Uint32(b)}
+	count := int(binary.BigEndian.Uint16(b[4:]))
+	rest := b[6:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return View{}, fmt.Errorf("group: truncated view members")
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		if len(rest) < n {
+			return View{}, fmt.Errorf("group: truncated member name")
+		}
+		v.Members = append(v.Members, string(rest[:n]))
+		rest = rest[n:]
+	}
+	return v, nil
+}

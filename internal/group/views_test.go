@@ -1,0 +1,189 @@
+package group
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paccel/internal/netsim"
+	"paccel/internal/vclock"
+)
+
+type viewRecorder struct {
+	mu    sync.Mutex
+	views []View
+	// pos[i] is how many messages had been delivered when view i
+	// installed — the virtual-synchrony cut.
+	pos []int
+	rec *recorder
+}
+
+func (vr *viewRecorder) hook(g *Group, rec *recorder) {
+	vr.rec = rec
+	g.OnView(func(v View) {
+		vr.mu.Lock()
+		defer vr.mu.Unlock()
+		vr.views = append(vr.views, v)
+		vr.pos = append(vr.pos, len(rec.list()))
+	})
+}
+
+func (vr *viewRecorder) snapshot() ([]View, []int) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	return append([]View(nil), vr.views...), append([]int(nil), vr.pos...)
+}
+
+func TestViewCodec(t *testing.T) {
+	v := View{ID: 3, Members: []string{"a", "bb", "ccc"}}
+	got, err := decodeView(encodeView(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 3 || len(got.Members) != 3 || got.Members[2] != "ccc" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for _, bad := range [][]byte{nil, {1}, {0, 0, 0, 1, 0, 2, 1}, {0, 0, 0, 1, 0, 1, 5, 'a'}} {
+		if _, err := decodeView(bad); err == nil {
+			t.Fatalf("decodeView(%v) accepted", bad)
+		}
+	}
+	if v.String() == "" || !v.Includes("bb") || v.Includes("zz") {
+		t.Fatal("view helpers")
+	}
+}
+
+func TestViewRequiresTotalOrder(t *testing.T) {
+	g := New("a", FIFO, "")
+	if err := g.ProposeView([]string{"a"}); err != ErrNeedTotalOrder {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestViewInstallsEverywhere(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	names := []string{"a", "b", "c"}
+	m, recs := meshWithRecorders(t, names, clk, netsim.Config{Latency: 30 * time.Microsecond}, Total, "a")
+	vrs := make(map[string]*viewRecorder)
+	for _, n := range names {
+		vrs[n] = &viewRecorder{}
+		vrs[n].hook(m.Groups[n], recs[n])
+	}
+	if err := m.Groups["b"].ProposeView([]string{"c", "a", "b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	for _, n := range names {
+		views, _ := vrs[n].snapshot()
+		if len(views) != 1 {
+			t.Fatalf("%s installed %d views", n, len(views))
+		}
+		v := views[0]
+		if v.ID != 1 {
+			t.Fatalf("%s: view id = %d", n, v.ID)
+		}
+		// Normalized: sorted, deduplicated.
+		if len(v.Members) != 3 || v.Members[0] != "a" || v.Members[2] != "c" {
+			t.Fatalf("%s: members = %v", n, v.Members)
+		}
+		if got := m.Groups[n].CurrentView(); got.ID != 1 {
+			t.Fatalf("%s: current view = %v", n, got)
+		}
+	}
+}
+
+// TestVirtualSynchronyCut is the property that makes views useful: every
+// member installs the view at the same position in the message stream —
+// the set of messages delivered before the view is identical everywhere.
+func TestVirtualSynchronyCut(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	names := []string{"a", "b", "c"}
+	m, recs := meshWithRecorders(t, names, clk, netsim.Config{Latency: 45 * time.Microsecond}, Total, "a")
+	vrs := make(map[string]*viewRecorder)
+	for _, n := range names {
+		vrs[n] = &viewRecorder{}
+		vrs[n].hook(m.Groups[n], recs[n])
+	}
+	// Interleave data and a view change racing from different members.
+	for i := 0; i < 4; i++ {
+		for _, n := range names {
+			if err := m.Groups[n].Send([]byte(fmt.Sprintf("%s-%d", n, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 1 {
+			if err := m.Groups["c"].ProposeView(names); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clk.Advance(20 * time.Microsecond)
+	}
+	clk.Advance(time.Second)
+
+	_, posA := vrs["a"].snapshot()
+	if len(posA) != 1 {
+		t.Fatalf("a installed %d views", len(posA))
+	}
+	cut := posA[0]
+	prefixA := recs["a"].list()[:cut]
+	for _, n := range names[1:] {
+		_, pos := vrs[n].snapshot()
+		if len(pos) != 1 {
+			t.Fatalf("%s installed %d views", n, len(pos))
+		}
+		if pos[0] != cut {
+			t.Fatalf("%s installed the view after %d messages, a after %d", n, pos[0], cut)
+		}
+		prefix := recs[n].list()[:cut]
+		for i := range prefixA {
+			if prefix[i] != prefixA[i] {
+				t.Fatalf("pre-view prefix differs at %d", i)
+			}
+		}
+	}
+}
+
+func TestStaleViewIgnored(t *testing.T) {
+	g := New("me", Total, "seq")
+	installed := 0
+	g.OnView(func(View) { installed++ })
+	inject := func(v View) {
+		g.onWire("seq", encodeFrame(kindSequenced, ctlView, "seq", 0, encodeView(v)))
+	}
+	inject(View{ID: 2, Members: []string{"a"}})
+	inject(View{ID: 1, Members: []string{"b"}}) // stale
+	inject(View{ID: 2, Members: []string{"c"}}) // duplicate
+	if installed != 1 {
+		t.Fatalf("installed = %d", installed)
+	}
+	if got := g.CurrentView(); got.ID != 2 || got.Members[0] != "a" {
+		t.Fatalf("current = %v", got)
+	}
+	inject(View{ID: 3, Members: []string{"a", "b"}})
+	if installed != 2 {
+		t.Fatalf("installed = %d", installed)
+	}
+}
+
+func TestViewPayloadsNeverCollideWithData(t *testing.T) {
+	// Application payloads that look like view announcements must be
+	// delivered as data, never installed (the ctl byte keeps the
+	// namespaces separate).
+	clk := vclock.NewManual(t0)
+	names := []string{"a", "b"}
+	m, recs := meshWithRecorders(t, names, clk, netsim.Config{}, Total, "a")
+	installed := 0
+	m.Groups["b"].OnView(func(View) { installed++ })
+	poison := encodeView(View{ID: 99, Members: []string{"mallory"}})
+	if err := m.Groups["a"].Send(poison); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if installed != 0 {
+		t.Fatal("application payload installed as a view")
+	}
+	if got := recs["b"].list(); len(got) != 1 {
+		t.Fatalf("payload not delivered as data: %v", got)
+	}
+}

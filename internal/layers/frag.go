@@ -1,0 +1,153 @@
+package layers
+
+import (
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+)
+
+// DefaultFragThreshold is the default maximum payload carried by one
+// frame, comfortably under the ATM/netsim MTU once headers are added.
+const DefaultFragThreshold = 8000
+
+// Frag implements fragmentation/reassembly exactly as the paper's §6
+// prescribes for the PA: the layer adds code to the send packet filter to
+// reject messages over the threshold (forcing them onto the slow path,
+// where PreSend splits them), and marks fragments with a protocol-specific
+// bit so the receiving PA never treats a fragment as predicted — fragments
+// always reach the stack for reassembly.
+//
+// Fragments are emitted as layer-generated messages, so the layers below
+// (the sliding window) sequence and retransmit each fragment individually;
+// reassembly relies on their FIFO exactly-once delivery and needs no
+// fragment identifiers — just an end-marker bit.
+type Frag struct {
+	// Threshold is the maximum payload per frame; 0 means
+	// DefaultFragThreshold.
+	Threshold int
+
+	isFrag header.Handle // 1 iff this frame is a fragment
+	last   header.Handle // 1 iff this fragment completes a message
+
+	assembling [][]byte // chunks of the message being reassembled
+	pending    int      // bytes accumulated
+}
+
+// NewFrag returns a fragmentation layer with the default threshold.
+func NewFrag() *Frag { return &Frag{Threshold: DefaultFragThreshold} }
+
+// Name implements stack.Layer.
+func (f *Frag) Name() string { return "frag" }
+
+func (f *Frag) threshold() int {
+	if f.Threshold <= 0 {
+		return DefaultFragThreshold
+	}
+	return f.Threshold
+}
+
+// Init registers the two fragment bits and the send-filter size check.
+func (f *Frag) Init(ic *stack.InitContext) error {
+	var err error
+	if f.isFrag, err = ic.Schema.AddField(header.ProtoSpec, f.Name(), "isfrag", 1, header.DontCare); err != nil {
+		return err
+	}
+	if f.last, err = ic.Schema.AddField(header.ProtoSpec, f.Name(), "last", 1, header.DontCare); err != nil {
+		return err
+	}
+	// "The fragmentation/reassembly layer adds code to the send packet
+	// filter to reject messages over a certain size" (§6).
+	ic.SendFilter.PushSize()
+	ic.SendFilter.PushConst(int64(f.threshold()))
+	ic.SendFilter.Arith(filter.Gt)
+	ic.SendFilter.Abort(filter.StatusSlow)
+	return nil
+}
+
+// Prime predicts non-fragment frames in both directions.
+func (f *Frag) Prime(ctx *stack.Context) {
+	f.isFrag.Write(ctx.PredictSend[header.ProtoSpec], ctx.Order, 0)
+	f.last.Write(ctx.PredictSend[header.ProtoSpec], ctx.Order, 0)
+	f.isFrag.Write(ctx.PredictRecv[header.ProtoSpec], ctx.Order, 0)
+	f.last.Write(ctx.PredictRecv[header.ProtoSpec], ctx.Order, 0)
+}
+
+// PreSend passes small messages through and splits large ones into
+// fragment control messages routed through the layers below.
+func (f *Frag) PreSend(ctx *stack.Context, m *message.Msg) stack.Verdict {
+	payload := ctx.Env.Payload
+	thr := f.threshold()
+	if len(payload) <= thr {
+		hdr := ctx.Env.Hdr[header.ProtoSpec]
+		f.isFrag.Write(hdr, ctx.Env.Order, 0)
+		f.last.Write(hdr, ctx.Env.Order, 0)
+		return stack.Continue
+	}
+	for off := 0; off < len(payload); off += thr {
+		end := off + thr
+		if end > len(payload) {
+			end = len(payload)
+		}
+		isLast := end == len(payload)
+		frag := message.New(payload[off:end])
+		err := ctx.S.SendControl(f, frag, stack.ControlOpts{
+			Build: func(env *filter.Env) {
+				hdr := env.Hdr[header.ProtoSpec]
+				f.isFrag.Write(hdr, env.Order, 1)
+				f.last.Write(hdr, env.Order, b1(isLast))
+			},
+		})
+		if err != nil {
+			return stack.Drop
+		}
+	}
+	return stack.Consume // original message replaced by its fragments
+}
+
+// PostSend implements stack.Layer; fragment state lives on the receive
+// side only.
+func (f *Frag) PostSend(*stack.Context, *message.Msg) {}
+
+// PreDeliver consumes fragments into the reassembly buffer (via Defer, to
+// keep the pre phase pure) and releases the reassembled message upward
+// when the end marker arrives.
+func (f *Frag) PreDeliver(ctx *stack.Context, m *message.Msg) stack.Verdict {
+	hdr := ctx.Env.Hdr[header.ProtoSpec]
+	if f.isFrag.Read(hdr, ctx.Env.Order) == 0 {
+		return stack.Continue
+	}
+	isLast := f.last.Read(hdr, ctx.Env.Order) == 1
+	chunk := append([]byte(nil), ctx.Env.Payload...)
+	ctx.S.Defer(func() {
+		f.assembling = append(f.assembling, chunk)
+		f.pending += len(chunk)
+		if !isLast {
+			return
+		}
+		whole := make([]byte, 0, f.pending)
+		for _, c := range f.assembling {
+			whole = append(whole, c...)
+		}
+		f.assembling = nil
+		f.pending = 0
+		out := message.New(whole)
+		out.Synthetic = true
+		ctx.S.EnqueueDeliver(f, out)
+	})
+	return stack.Consume
+}
+
+// PostDeliver implements stack.Layer.
+func (f *Frag) PostDeliver(*stack.Context, *message.Msg) {}
+
+// AssemblingBytes reports the bytes buffered for reassembly (for tests
+// and introspection).
+func (f *Frag) AssemblingBytes() int { return f.pending }
+
+func b1(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+package layers
+
+import (
+	"bytes"
+	"fmt"
+
+	"paccel/internal/bits"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+)
+
+// Ident geometry: the connection identification registered by the bottom
+// layer occupies exactly the 76 bytes the paper reports for Horus (§2.2).
+const (
+	// EndpointIDLen is the size of an endpoint identifier. Horus
+	// endpoints carry large (and growing) addresses; 32 bytes
+	// accommodates a modern content-derived identifier.
+	EndpointIDLen = 32
+	// IdentVersion is the protocol version recorded in the connection
+	// identification.
+	IdentVersion = 1
+)
+
+// Ident is the bottom layer. It registers the Connection Identification
+// fields (§2.1 class 1): source and destination endpoint identifiers,
+// ports, an epoch that distinguishes connection incarnations, a protocol
+// version, flags, and the sender's byte-order — 76 bytes in all, matching
+// the paper's Horus figure. None of this changes during the connection,
+// so with the Protocol Accelerator it is transmitted only on first or
+// unusual messages; the baseline carries it on every message.
+type Ident struct {
+	// Local and Remote identify the two endpoints; at most
+	// EndpointIDLen bytes each (shorter identifiers are zero-padded).
+	Local, Remote []byte
+	// LocalPort and RemotePort demultiplex connections between the same
+	// endpoints.
+	LocalPort, RemotePort uint16
+	// Epoch distinguishes incarnations of the same connection.
+	Epoch uint32
+	// Order is the sender's native byte order, recorded in the
+	// identification ("byte-ordering information of their
+	// architectures", §2.1).
+	Order bits.ByteOrder
+
+	src, dst     header.Handle
+	sport, dport header.Handle
+	epoch        header.Handle
+	version      header.Handle
+	flags        header.Handle
+	order        header.Handle
+}
+
+// Name implements stack.Layer.
+func (l *Ident) Name() string { return "ident" }
+
+// Init registers the connection identification fields.
+func (l *Ident) Init(ic *stack.InitContext) error {
+	if len(l.Local) > EndpointIDLen || len(l.Remote) > EndpointIDLen {
+		return fmt.Errorf("ident: endpoint identifiers limited to %d bytes", EndpointIDLen)
+	}
+	var err error
+	add := func(h *header.Handle, name string, sizeBits int) {
+		if err != nil {
+			return
+		}
+		*h, err = ic.Schema.AddField(header.ConnID, l.Name(), name, sizeBits, header.DontCare)
+	}
+	if l.src, err = ic.Schema.AddBytes(header.ConnID, l.Name(), "src", EndpointIDLen); err != nil {
+		return err
+	}
+	if l.dst, err = ic.Schema.AddBytes(header.ConnID, l.Name(), "dst", EndpointIDLen); err != nil {
+		return err
+	}
+	add(&l.sport, "sport", 16)
+	add(&l.dport, "dport", 16)
+	add(&l.epoch, "epoch", 32)
+	add(&l.version, "version", 16)
+	add(&l.flags, "flags", 8)
+	add(&l.order, "order", 8)
+	return err
+}
+
+// Prime writes the outgoing connection identification into the predicted
+// ConnID header, where the engine reads it whenever a message must carry
+// it.
+func (l *Ident) Prime(ctx *stack.Context) {
+	hdr := ctx.PredictSend[header.ConnID]
+	copy(l.src.Bytes(hdr), l.Local)
+	copy(l.dst.Bytes(hdr), l.Remote)
+	l.sport.Write(hdr, ctx.Order, uint64(l.LocalPort))
+	l.dport.Write(hdr, ctx.Order, uint64(l.RemotePort))
+	l.epoch.Write(hdr, ctx.Order, uint64(l.Epoch))
+	l.version.Write(hdr, ctx.Order, IdentVersion)
+	l.flags.Write(hdr, ctx.Order, 0)
+	l.order.Write(hdr, ctx.Order, uint64(l.Order))
+}
+
+// ExpectedIncoming returns the connection identification the peer will
+// send (source and destination swapped), for the engine's routing table.
+// hdrSize is the compiled ConnID header size; peerOrder is the byte order
+// the peer writes aligned fields in.
+func (l *Ident) ExpectedIncoming(hdrSize int, peerOrder bits.ByteOrder) []byte {
+	hdr := make([]byte, hdrSize)
+	copy(l.src.Bytes(hdr), l.Remote)
+	copy(l.dst.Bytes(hdr), l.Local)
+	l.sport.Write(hdr, peerOrder, uint64(l.RemotePort))
+	l.dport.Write(hdr, peerOrder, uint64(l.LocalPort))
+	l.epoch.Write(hdr, peerOrder, uint64(l.Epoch))
+	l.version.Write(hdr, peerOrder, IdentVersion)
+	l.flags.Write(hdr, peerOrder, 0)
+	l.order.Write(hdr, peerOrder, uint64(peerOrder))
+	return hdr
+}
+
+// PreSend implements stack.Layer; the identification is engine-managed.
+func (l *Ident) PreSend(*stack.Context, *message.Msg) stack.Verdict { return stack.Continue }
+
+// PostSend implements stack.Layer.
+func (l *Ident) PostSend(*stack.Context, *message.Msg) {}
+
+// PreDeliver verifies the connection identification when the message
+// carries one (ctx.Env.Hdr[ConnID] non-nil). Mismatches — a different
+// epoch, a foreign destination — are dropped.
+func (l *Ident) PreDeliver(ctx *stack.Context, m *message.Msg) stack.Verdict {
+	hdr := ctx.Env.Hdr[header.ConnID]
+	if hdr == nil {
+		return stack.Continue // normal message: identification omitted
+	}
+	if !bytes.Equal(l.dst.Bytes(hdr), pad(l.Local)) ||
+		!bytes.Equal(l.src.Bytes(hdr), pad(l.Remote)) {
+		return stack.Drop
+	}
+	if l.epoch.Read(hdr, ctx.Env.Order) != uint64(l.Epoch) {
+		return stack.Drop
+	}
+	if l.version.Read(hdr, ctx.Env.Order) != IdentVersion {
+		return stack.Drop
+	}
+	return stack.Continue
+}
+
+// PostDeliver implements stack.Layer.
+func (l *Ident) PostDeliver(*stack.Context, *message.Msg) {}
+
+func pad(id []byte) []byte {
+	if len(id) == EndpointIDLen {
+		return id
+	}
+	p := make([]byte, EndpointIDLen)
+	copy(p, id)
+	return p
+}
+
+// IdentInfo is a parsed incoming connection identification, used by an
+// endpoint's accept hook to decide whether to create a connection.
+type IdentInfo struct {
+	Src, Dst         []byte
+	SrcPort, DstPort uint16
+	Epoch            uint32
+	Version          uint16
+	Order            bits.ByteOrder
+}
+
+// ParseIncoming decodes a peer's connection identification header. Any
+// Ident instance initialized against the same stack shape can parse it
+// (the layout is schema-determined), so endpoints keep a template instance
+// for routing decisions.
+func (l *Ident) ParseIncoming(hdr []byte, order bits.ByteOrder) IdentInfo {
+	return IdentInfo{
+		Src:     append([]byte(nil), l.src.Bytes(hdr)...),
+		Dst:     append([]byte(nil), l.dst.Bytes(hdr)...),
+		SrcPort: uint16(l.sport.Read(hdr, order)),
+		DstPort: uint16(l.dport.Read(hdr, order)),
+		Epoch:   uint32(l.epoch.Read(hdr, order)),
+		Version: uint16(l.version.Read(hdr, order)),
+		Order:   bits.ByteOrder(l.order.Read(hdr, order)),
+	}
+}

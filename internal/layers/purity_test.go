@@ -1,0 +1,114 @@
+package layers
+
+import (
+	"fmt"
+	"testing"
+
+	"paccel/internal/stack"
+)
+
+// Canonical protocol processing (§3.1) requires pre phases to leave
+// protocol state untouched — that is what lets the engine transmit and
+// deliver before any state update. These tests snapshot each layer's full
+// state (fmt %+v reaches scalar fields, map contents and slice contents)
+// around its pre phases and demand bit-for-bit equality whenever the
+// verdict is Continue. Effects requested via Defer run later, at
+// post-processing time, by design.
+
+func snapshot(l stack.Layer) string { return fmt.Sprintf("%+v", l) }
+
+// pureLayers builds one instance of every layer type, plus a message
+// generator appropriate for it.
+func purityCases(t *testing.T) []struct {
+	name  string
+	layer stack.Layer
+} {
+	t.Helper()
+	return []struct {
+		name  string
+		layer stack.Layer
+	}{
+		{"chksum", NewChksum()},
+		{"frag", NewFrag()},
+		{"window", NewWindow()},
+		{"heartbeat", &Heartbeat{Interval: 1 << 30}},
+		{"stamp", NewStamp()},
+		{"ident", newIdent()},
+	}
+}
+
+func TestPreSendPurity(t *testing.T) {
+	for _, tc := range purityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, tc.layer)
+			m, env := h.env([]byte("purity-probe"))
+			defer m.Free()
+			before := snapshot(tc.layer)
+			v := tc.layer.PreSend(h.ctx(env), m)
+			after := snapshot(tc.layer)
+			if v == stack.Continue && before != after {
+				t.Fatalf("PreSend mutated state:\nbefore %s\nafter  %s", before, after)
+			}
+		})
+	}
+}
+
+func TestPreDeliverPurity(t *testing.T) {
+	for _, tc := range purityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, tc.layer)
+			// Build a deliverable message: run the send pre phase
+			// first so headers are coherent for this layer.
+			m, env := h.env([]byte("purity-probe"))
+			defer m.Free()
+			tc.layer.PreSend(h.ctx(env), m)
+			before := snapshot(tc.layer)
+			deferredBefore := len(h.svc.deferred)
+			tc.layer.PreDeliver(h.ctx(env), m)
+			after := snapshot(tc.layer)
+			if before != after {
+				t.Fatalf("PreDeliver mutated state:\nbefore %s\nafter  %s", before, after)
+			}
+			// Any effects must have been requested through Defer,
+			// not applied.
+			_ = deferredBefore
+		})
+	}
+}
+
+// TestPreDeliverPurityOnControlFrames covers the window layer's ack, nak,
+// duplicate and future paths: all must defer their bookkeeping.
+func TestPreDeliverPurityOnControlFrames(t *testing.T) {
+	w := NewWindow()
+	w.Naks = true
+	h := windowHarness(t, w)
+	h.send([]byte("outstanding")) // so acks/naks have something to touch
+	cases := []struct {
+		name     string
+		typ      uint64
+		seq, ack uint32
+	}{
+		{"ack", TypeAck, 0, 1},
+		{"nak", TypeNak, 0, 0},
+		{"dup", TypeData, 0, 0},    // after delivering 0 below
+		{"future", TypeData, 5, 0}, // gap
+		{"in-seq", TypeData, 0, 0}, // normal
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, env := ctrlFrame(h, w, c.typ, c.seq, c.ack)
+			defer func() {
+				// Future frames are consumed (owned); others freed here.
+				h.svc.deferred = nil
+				m.Free()
+			}()
+			before := snapshot(w)
+			w.PreDeliver(h.ctx(env), m)
+			after := snapshot(w)
+			if before != after {
+				t.Fatalf("window.PreDeliver(%s) mutated state:\nbefore %s\nafter  %s",
+					c.name, before, after)
+			}
+		})
+	}
+}

@@ -1,0 +1,534 @@
+package layers
+
+import (
+	"time"
+
+	"paccel/internal/bits"
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+	"paccel/internal/vclock"
+)
+
+// Window defaults, following the paper's measured configuration: "a basic
+// sliding window protocol, with a window size of 16 entries" (§5).
+const (
+	DefaultWindowSize     = 16
+	DefaultRetransTimeout = 200 * time.Millisecond
+	DefaultDelayedAck     = time.Millisecond
+)
+
+// Message types carried in the window layer's 2-bit protocol-specific
+// type field ("e.g., data, ack, or nak", §2.1).
+const (
+	TypeData uint64 = iota
+	TypeAck
+	TypeNak
+)
+
+// Window is a sliding window protocol layer providing reliable,
+// exactly-once, FIFO delivery over an unreliable datagram network. It is
+// the protocol the paper's four-layer stack implements and the layer that
+// is "stacked twice" in the §5 layering-cost experiment.
+//
+// Header usage exercises three of the four classes:
+//
+//   - protocol-specific: 32-bit sequence number, 2-bit message type —
+//     predictable from protocol state alone (§3.2);
+//   - gossip: 32-bit cumulative acknowledgement piggybacked on every
+//     message, correct even when stale (§2.1 class 4);
+//   - the send window disables header prediction when full (§3.2), which
+//     diverts further sends to the engine's backlog and triggers message
+//     packing (§3.4).
+type Window struct {
+	// Size is the window size in messages; 0 means DefaultWindowSize.
+	Size int
+	// RetransTimeout is the base retransmission timeout; it doubles on
+	// every expiry up to 8x. 0 means DefaultRetransTimeout.
+	RetransTimeout time.Duration
+	// AckEvery forces a standalone acknowledgement after this many
+	// unacknowledged deliveries; 0 means half the window.
+	AckEvery int
+	// DelayedAck bounds how long an acknowledgement may be withheld
+	// waiting for reverse traffic to piggyback on. 0 means
+	// DefaultDelayedAck.
+	DelayedAck time.Duration
+	// BufferOutOfOrder keeps early messages for in-order release
+	// instead of dropping them. Default false (set by NewWindow: true).
+	BufferOutOfOrder bool
+	// Naks requests an immediate retransmission when a gap is observed.
+	Naks bool
+	// AdaptiveRTO estimates the retransmission timeout from measured
+	// ack round-trip times (Jacobson/Karels: srtt + 4·rttvar), clamped
+	// to [RetransTimeout/8, RetransTimeout]. RetransTimeout remains the
+	// initial and maximum value.
+	AdaptiveRTO bool
+
+	seq header.Handle // ProtoSpec: sequence number
+	typ header.Handle // ProtoSpec: data/ack/nak
+	ack header.Handle // Gossip: cumulative acknowledgement (next expected)
+
+	// Captured at Prime: the engine's service surface and the stable
+	// prediction buffers, needed by timers and deferred actions.
+	s     stack.Services
+	order bits.ByteOrder
+	pSend [header.NumClasses][]byte
+	pRecv [header.NumClasses][]byte
+
+	// Send side.
+	nextSeq      uint32
+	ackedTo      uint32 // everything before this is acknowledged
+	unacked      map[uint32]*message.Msg
+	sentAt       map[uint32]time.Time // send times for RTT sampling
+	sendDisabled bool
+	rtTimer      vclock.Timer
+	rtBackoff    int
+	srtt, rttvar time.Duration // smoothed RTT state (AdaptiveRTO)
+
+	// Receive side.
+	expected    uint32
+	oooBuf      map[uint32]*message.Msg
+	nakedFor    map[uint32]bool
+	pendingAcks int
+	ackTimer    vclock.Timer
+
+	// Counters for tests and reports.
+	Stats WindowStats
+}
+
+// WindowStats counts window-layer events.
+type WindowStats struct {
+	Sent, Delivered              uint64
+	Dups, Futures, FuturesStored uint64
+	AcksSent, AcksReceived       uint64
+	NaksSent, NaksReceived       uint64
+	Retransmits, Timeouts        uint64
+}
+
+// NewWindow returns a window layer with the paper's defaults (16 entries)
+// and out-of-order buffering enabled.
+func NewWindow() *Window {
+	return &Window{BufferOutOfOrder: true}
+}
+
+// Name implements stack.Layer.
+func (w *Window) Name() string { return "window" }
+
+func (w *Window) size() uint32 {
+	if w.Size <= 0 {
+		return DefaultWindowSize
+	}
+	return uint32(w.Size)
+}
+
+func (w *Window) ackEvery() int {
+	if w.AckEvery > 0 {
+		return w.AckEvery
+	}
+	return int(w.size()) / 2
+}
+
+func (w *Window) rto() time.Duration {
+	max := w.RetransTimeout
+	if max <= 0 {
+		max = DefaultRetransTimeout
+	}
+	if !w.AdaptiveRTO || w.srtt == 0 {
+		return max
+	}
+	rto := w.srtt + 4*w.rttvar
+	if min := max / 8; rto < min {
+		rto = min
+	}
+	if rto > max {
+		rto = max
+	}
+	return rto
+}
+
+// observeRTT feeds one ack round-trip sample into the Jacobson/Karels
+// estimator.
+func (w *Window) observeRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if w.srtt == 0 {
+		w.srtt = sample
+		w.rttvar = sample / 2
+		return
+	}
+	diff := w.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	w.rttvar += (diff - w.rttvar) / 4
+	w.srtt += (sample - w.srtt) / 8
+}
+
+// RTTEstimate returns the smoothed round-trip estimate and its variance
+// (zero before the first sample).
+func (w *Window) RTTEstimate() (srtt, rttvar time.Duration) { return w.srtt, w.rttvar }
+
+func (w *Window) delayedAck() time.Duration {
+	if w.DelayedAck <= 0 {
+		return DefaultDelayedAck
+	}
+	return w.DelayedAck
+}
+
+// Init registers the window's fields.
+func (w *Window) Init(ic *stack.InitContext) error {
+	var err error
+	if w.seq, err = ic.Schema.AddField(header.ProtoSpec, w.Name(), "seq", 32, header.DontCare); err != nil {
+		return err
+	}
+	if w.typ, err = ic.Schema.AddField(header.ProtoSpec, w.Name(), "type", 2, header.DontCare); err != nil {
+		return err
+	}
+	if w.ack, err = ic.Schema.AddField(header.Gossip, w.Name(), "ack", 32, header.DontCare); err != nil {
+		return err
+	}
+	w.unacked = make(map[uint32]*message.Msg)
+	w.sentAt = make(map[uint32]time.Time)
+	w.oooBuf = make(map[uint32]*message.Msg)
+	w.nakedFor = make(map[uint32]bool)
+	return nil
+}
+
+// Prime captures the engine surfaces and predicts the first messages in
+// both directions: sequence 0 data frames.
+func (w *Window) Prime(ctx *stack.Context) {
+	w.s = ctx.S
+	w.order = ctx.Order
+	w.pSend = ctx.PredictSend
+	w.pRecv = ctx.PredictRecv
+	w.predictSend()
+	w.predictRecv()
+}
+
+func (w *Window) predictSend() {
+	w.seq.Write(w.pSend[header.ProtoSpec], w.order, uint64(w.nextSeq))
+	w.typ.Write(w.pSend[header.ProtoSpec], w.order, TypeData)
+	w.ack.Write(w.pSend[header.Gossip], w.order, uint64(w.expected))
+}
+
+func (w *Window) predictRecv() {
+	w.seq.Write(w.pRecv[header.ProtoSpec], w.order, uint64(w.expected))
+	w.typ.Write(w.pRecv[header.ProtoSpec], w.order, TypeData)
+}
+
+// PreSend stamps an outgoing data frame: next sequence number, data type,
+// piggybacked cumulative ack. Pure: state advances in PostSend.
+func (w *Window) PreSend(ctx *stack.Context, m *message.Msg) stack.Verdict {
+	hdr := ctx.Env.Hdr[header.ProtoSpec]
+	w.seq.Write(hdr, ctx.Env.Order, uint64(w.nextSeq))
+	w.typ.Write(hdr, ctx.Env.Order, TypeData)
+	w.ack.Write(ctx.Env.Hdr[header.Gossip], ctx.Env.Order, uint64(w.expected))
+	return stack.Continue
+}
+
+// PostSend saves the frame for retransmission, advances the window,
+// disables prediction when the window fills, and predicts the next frame.
+func (w *Window) PostSend(ctx *stack.Context, m *message.Msg) {
+	seq := uint32(w.seq.Read(ctx.Env.Hdr[header.ProtoSpec], ctx.Env.Order))
+	w.unacked[seq] = m.Clone()
+	if w.AdaptiveRTO {
+		w.sentAt[seq] = w.s.Clock().Now()
+	}
+	w.nextSeq = seq + 1
+	w.Stats.Sent++
+	// A data frame carries the current cumulative ack, so pending
+	// standalone acks are covered (piggybacking).
+	w.pendingAcks = 0
+	w.stopAckTimer()
+	if w.inflight() >= w.size() && !w.sendDisabled {
+		w.sendDisabled = true
+		w.s.DisableSend()
+	}
+	w.armRetransmit()
+	w.predictSend()
+}
+
+func (w *Window) inflight() uint32 { return w.nextSeq - w.ackedTo }
+
+// PreDeliver classifies an incoming frame. All bookkeeping is deferred to
+// post-processing; the phase itself only reads.
+func (w *Window) PreDeliver(ctx *stack.Context, m *message.Msg) stack.Verdict {
+	order := ctx.Env.Order
+	hdr := ctx.Env.Hdr[header.ProtoSpec]
+	typ := w.typ.Read(hdr, order)
+	seq := uint32(w.seq.Read(hdr, order))
+	ackVal := uint32(w.ack.Read(ctx.Env.Hdr[header.Gossip], order))
+
+	switch typ {
+	case TypeAck:
+		ctx.S.Defer(func() {
+			w.Stats.AcksReceived++
+			w.processAck(ackVal)
+		})
+		return stack.Consume
+	case TypeNak:
+		ctx.S.Defer(func() {
+			w.Stats.NaksReceived++
+			w.processAck(ackVal)
+			w.resend(seq)
+		})
+		return stack.Consume
+	}
+
+	// Data. For a deliverable frame the piggybacked ack is handled by
+	// PostDeliver (which also runs on the engine's fast path); for
+	// dropped or buffered frames it is deferred here.
+	switch {
+	case seq == w.expected:
+		return stack.Continue
+	case seqLT(seq, w.expected):
+		// Duplicate: the peer may have missed our ack; re-ack now.
+		// A duplicate means recovery is in progress, so this is an
+		// "unusual" message: it carries the connection identification
+		// (§2.2) in case the peer never learned our cookie.
+		ctx.S.Defer(func() {
+			w.Stats.Dups++
+			w.processAck(ackVal)
+			w.sendAckIdent(true)
+		})
+		return stack.Drop
+	default:
+		// Future frame: a gap exists.
+		if w.BufferOutOfOrder {
+			ctx.S.Defer(func() {
+				w.Stats.Futures++
+				w.processAck(ackVal)
+				w.storeFuture(seq, m)
+			})
+			return stack.Consume
+		}
+		ctx.S.Defer(func() {
+			w.Stats.Futures++
+			w.processAck(ackVal)
+			w.maybeNak(seq)
+		})
+		return stack.Drop
+	}
+}
+
+// PostDeliver processes the frame's piggybacked cumulative ack, advances
+// the receive window past the in-sequence frame just delivered, releases
+// any directly following buffered frames, schedules acknowledgements, and
+// predicts the next incoming frame. It runs on both the fast path (no
+// PreDeliver) and the slow path.
+func (w *Window) PostDeliver(ctx *stack.Context, m *message.Msg) {
+	w.processAck(uint32(w.ack.Read(ctx.Env.Hdr[header.Gossip], ctx.Env.Order)))
+	w.advance()
+	w.predictRecv()
+	w.predictSend() // piggyback prediction now carries the fresh ack
+}
+
+// advance moves expected forward by one delivered frame plus any buffered
+// successors, and schedules acks.
+func (w *Window) advance() {
+	delete(w.nakedFor, w.expected)
+	w.expected++
+	w.Stats.Delivered++
+	w.pendingAcks++
+	for {
+		m, ok := w.oooBuf[w.expected]
+		if !ok {
+			break
+		}
+		delete(w.oooBuf, w.expected)
+		delete(w.nakedFor, w.expected)
+		w.expected++
+		w.Stats.Delivered++
+		w.pendingAcks++
+		w.s.EnqueueDeliver(w, m)
+	}
+	if w.pendingAcks >= w.ackEvery() {
+		w.sendAck()
+	} else if w.ackTimer == nil {
+		w.ackTimer = w.s.AfterFunc(w.delayedAck(), func() {
+			w.ackTimer = nil
+			if w.pendingAcks > 0 {
+				w.sendAck()
+			}
+		})
+	}
+}
+
+func (w *Window) storeFuture(seq uint32, m *message.Msg) {
+	if _, dup := w.oooBuf[seq]; dup || seq-w.expected > 4*w.size() {
+		m.Free() // duplicate future or absurdly far ahead
+		return
+	}
+	w.oooBuf[seq] = m
+	w.Stats.FuturesStored++
+	w.maybeNak(seq)
+}
+
+// maybeNak requests retransmission of the lowest missing frame once per
+// gap observation.
+func (w *Window) maybeNak(got uint32) {
+	if !w.Naks || w.nakedFor[w.expected] {
+		return
+	}
+	w.nakedFor[w.expected] = true
+	w.Stats.NaksSent++
+	missing := w.expected
+	msg := message.New(nil)
+	err := w.s.SendControl(w, msg, stack.ControlOpts{
+		Build: func(env *filter.Env) {
+			w.typ.Write(env.Hdr[header.ProtoSpec], env.Order, TypeNak)
+			w.seq.Write(env.Hdr[header.ProtoSpec], env.Order, uint64(missing))
+			w.ack.Write(env.Hdr[header.Gossip], env.Order, uint64(w.expected))
+		},
+	})
+	if err != nil {
+		msg.Free()
+	}
+}
+
+// sendAck emits a standalone cumulative acknowledgement.
+func (w *Window) sendAck() { w.sendAckIdent(false) }
+
+// sendAckIdent emits an acknowledgement, optionally tagged as an unusual
+// message that carries the connection identification.
+func (w *Window) sendAckIdent(withIdent bool) {
+	w.pendingAcks = 0
+	w.stopAckTimer()
+	w.Stats.AcksSent++
+	msg := message.New(nil)
+	err := w.s.SendControl(w, msg, stack.ControlOpts{
+		IncludeConnID: withIdent,
+		Build: func(env *filter.Env) {
+			w.typ.Write(env.Hdr[header.ProtoSpec], env.Order, TypeAck)
+			w.ack.Write(env.Hdr[header.Gossip], env.Order, uint64(w.expected))
+		},
+	})
+	if err != nil {
+		msg.Free()
+	}
+}
+
+// processAck handles a cumulative acknowledgement: releases saved frames,
+// reopens the window, and rearms or cancels the retransmission timer.
+func (w *Window) processAck(ackTo uint32) {
+	if !seqLT(w.ackedTo, ackTo) {
+		return
+	}
+	now := time.Time{}
+	if w.AdaptiveRTO {
+		now = w.s.Clock().Now()
+	}
+	for s := w.ackedTo; seqLT(s, ackTo); s++ {
+		if m, ok := w.unacked[s]; ok {
+			m.Free()
+			delete(w.unacked, s)
+		}
+		if at, ok := w.sentAt[s]; ok {
+			// Karn's rule: skip retransmitted frames (their send
+			// time was cleared on retransmission).
+			if w.AdaptiveRTO && !at.IsZero() {
+				w.observeRTT(now.Sub(at))
+			}
+			delete(w.sentAt, s)
+		}
+	}
+	w.ackedTo = ackTo
+	w.rtBackoff = 0
+	if w.sendDisabled && w.inflight() < w.size() {
+		w.sendDisabled = false
+		w.s.EnableSend()
+	}
+	if len(w.unacked) == 0 {
+		w.stopRetransmit()
+	} else {
+		w.rearmRetransmit()
+	}
+}
+
+// resend retransmits one saved frame (nak response), with the connection
+// identification attached — it is an "unusual" message (§2.2).
+func (w *Window) resend(seq uint32) {
+	m, ok := w.unacked[seq]
+	if !ok {
+		return
+	}
+	w.Stats.Retransmits++
+	w.sentAt[seq] = time.Time{} // Karn: ambiguous sample, never measure
+	_ = w.s.SendRaw(m, true)
+}
+
+// onTimeout retransmits everything outstanding (go-back-N) with
+// exponential backoff.
+func (w *Window) onTimeout() {
+	w.rtTimer = nil
+	if len(w.unacked) == 0 {
+		return
+	}
+	w.Stats.Timeouts++
+	if w.rtBackoff < 3 {
+		w.rtBackoff++
+	}
+	for s := w.ackedTo; seqLT(s, w.nextSeq); s++ {
+		if m, ok := w.unacked[s]; ok {
+			w.Stats.Retransmits++
+			w.sentAt[s] = time.Time{} // Karn's rule
+			_ = w.s.SendRaw(m, true)
+		}
+	}
+	w.armRetransmit()
+}
+
+func (w *Window) armRetransmit() {
+	if w.rtTimer != nil || len(w.unacked) == 0 {
+		return
+	}
+	w.rtTimer = w.s.AfterFunc(w.rto()<<uint(w.rtBackoff), w.onTimeout)
+}
+
+func (w *Window) rearmRetransmit() {
+	w.stopRetransmit()
+	w.armRetransmit()
+}
+
+func (w *Window) stopRetransmit() {
+	if w.rtTimer != nil {
+		w.rtTimer.Stop()
+		w.rtTimer = nil
+	}
+}
+
+func (w *Window) stopAckTimer() {
+	if w.ackTimer != nil {
+		w.ackTimer.Stop()
+		w.ackTimer = nil
+	}
+}
+
+// Outstanding reports the number of unacknowledged frames.
+func (w *Window) Outstanding() int { return len(w.unacked) }
+
+// Expected returns the next expected incoming sequence number.
+func (w *Window) Expected() uint32 { return w.expected }
+
+// seqLT compares sequence numbers in serial-number arithmetic (RFC 1982
+// style), so the window survives 32-bit wraparound.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// Close stops the layer's timers (connection teardown) and releases saved
+// frames.
+func (w *Window) Close() error {
+	w.stopRetransmit()
+	w.stopAckTimer()
+	for s, m := range w.unacked {
+		m.Free()
+		delete(w.unacked, s)
+	}
+	for s, m := range w.oooBuf {
+		m.Free()
+		delete(w.oooBuf, s)
+	}
+	clear(w.sentAt)
+	return nil
+}

@@ -1,0 +1,502 @@
+package layers
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"paccel/internal/bits"
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+)
+
+func windowHarness(t *testing.T, w *Window) *harness {
+	t.Helper()
+	return newHarness(t, w)
+}
+
+// dataFrame builds an incoming data frame with the given seq and
+// piggybacked ack.
+func dataFrame(h *harness, w *Window, seq, ack uint32, payload []byte) (*message.Msg, *filter.Env) {
+	m, env := h.env(payload)
+	w.seq.Write(env.Hdr[header.ProtoSpec], env.Order, uint64(seq))
+	w.typ.Write(env.Hdr[header.ProtoSpec], env.Order, TypeData)
+	w.ack.Write(env.Hdr[header.Gossip], env.Order, uint64(ack))
+	return m, env
+}
+
+func ctrlFrame(h *harness, w *Window, typ uint64, seq, ack uint32) (*message.Msg, *filter.Env) {
+	m, env := h.env(nil)
+	w.seq.Write(env.Hdr[header.ProtoSpec], env.Order, uint64(seq))
+	w.typ.Write(env.Hdr[header.ProtoSpec], env.Order, typ)
+	w.ack.Write(env.Hdr[header.Gossip], env.Order, uint64(ack))
+	return m, env
+}
+
+func TestWindowPreSendStamps(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	_, env := h.send([]byte("a"))
+	if got := w.seq.Read(env.Hdr[header.ProtoSpec], env.Order); got != 0 {
+		t.Fatalf("first seq = %d", got)
+	}
+	if got := w.typ.Read(env.Hdr[header.ProtoSpec], env.Order); got != TypeData {
+		t.Fatalf("type = %d", got)
+	}
+	_, env2 := h.send([]byte("b"))
+	if got := w.seq.Read(env2.Hdr[header.ProtoSpec], env2.Order); got != 1 {
+		t.Fatalf("second seq = %d", got)
+	}
+}
+
+func TestWindowPostSendSavesAndPredicts(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	h.send([]byte("saved"))
+	if w.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", w.Outstanding())
+	}
+	if !bytes.Equal(w.unacked[0].Payload(), []byte("saved")) {
+		t.Fatal("saved frame payload mismatch")
+	}
+	// Prediction: next send is seq 1, data.
+	if got := w.seq.Read(h.base.PredictSend[header.ProtoSpec], bits.BigEndian); got != 1 {
+		t.Fatalf("predicted seq = %d", got)
+	}
+	if got := w.typ.Read(h.base.PredictSend[header.ProtoSpec], bits.BigEndian); got != TypeData {
+		t.Fatalf("predicted type = %d", got)
+	}
+}
+
+func TestWindowFillsAndDisables(t *testing.T) {
+	w := NewWindow()
+	w.Size = 2
+	h := windowHarness(t, w)
+	h.send([]byte("0"))
+	if h.svc.sendDisable != 0 {
+		t.Fatal("disabled too early")
+	}
+	h.send([]byte("1"))
+	if h.svc.sendDisable != 1 {
+		t.Fatalf("disable count = %d, want 1", h.svc.sendDisable)
+	}
+	// Ack both: window reopens.
+	m, env := ctrlFrame(h, w, TypeAck, 0, 2)
+	defer m.Free()
+	if v, _ := h.st.PreDeliver(h.ctx(env), m); v != stack.Consume {
+		t.Fatal("ack not consumed")
+	}
+	h.svc.runDeferred()
+	if h.svc.sendDisable != 0 {
+		t.Fatalf("disable count after ack = %d", h.svc.sendDisable)
+	}
+	if w.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", w.Outstanding())
+	}
+	if w.Stats.AcksReceived != 1 {
+		t.Fatalf("acks received = %d", w.Stats.AcksReceived)
+	}
+}
+
+func TestWindowInSequenceDelivery(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	m, env := dataFrame(h, w, 0, 0, []byte("x"))
+	defer m.Free()
+	ctx := h.ctx(env)
+	if v, _ := h.st.PreDeliver(ctx, m); v != stack.Continue {
+		t.Fatal("in-seq frame not delivered")
+	}
+	h.st.PostDeliver(ctx, m)
+	h.svc.runDeferred()
+	if w.Expected() != 1 {
+		t.Fatalf("expected = %d", w.Expected())
+	}
+	// Recv prediction now expects seq 1.
+	if got := w.seq.Read(h.base.PredictRecv[header.ProtoSpec], bits.BigEndian); got != 1 {
+		t.Fatalf("predicted recv seq = %d", got)
+	}
+	// Send prediction's piggyback ack freshened to 1.
+	if got := w.ack.Read(h.base.PredictSend[header.Gossip], bits.BigEndian); got != 1 {
+		t.Fatalf("predicted piggyback ack = %d", got)
+	}
+}
+
+func TestWindowDuplicateDropsAndReacks(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	m, env := dataFrame(h, w, 0, 0, []byte("x"))
+	defer m.Free()
+	ctx := h.ctx(env)
+	h.st.PreDeliver(ctx, m)
+	h.st.PostDeliver(ctx, m)
+	h.svc.runDeferred()
+
+	dup, denv := dataFrame(h, w, 0, 0, []byte("x"))
+	defer dup.Free()
+	if v, _ := h.st.PreDeliver(h.ctx(denv), dup); v != stack.Drop {
+		t.Fatal("duplicate not dropped")
+	}
+	h.svc.runDeferred()
+	if w.Stats.Dups != 1 {
+		t.Fatalf("dups = %d", w.Stats.Dups)
+	}
+	// The dup triggered an immediate re-ack.
+	found := false
+	for _, c := range h.svc.controls {
+		if w.typ.Read(c.env.Hdr[header.ProtoSpec], c.env.Order) == TypeAck {
+			found = true
+			if got := w.ack.Read(c.env.Hdr[header.Gossip], c.env.Order); got != 1 {
+				t.Fatalf("re-ack value = %d", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no re-ack sent for duplicate")
+	}
+}
+
+func TestWindowFutureBufferedAndReleased(t *testing.T) {
+	w := NewWindow()
+	w.Naks = true
+	h := windowHarness(t, w)
+	// Frame 1 arrives before frame 0.
+	f1, env1 := dataFrame(h, w, 1, 0, []byte("one"))
+	if v, _ := h.st.PreDeliver(h.ctx(env1), f1); v != stack.Consume {
+		t.Fatal("future frame not consumed")
+	}
+	h.svc.runDeferred()
+	if w.Stats.FuturesStored != 1 {
+		t.Fatalf("futures stored = %d", w.Stats.FuturesStored)
+	}
+	// A nak for the missing frame 0 went out.
+	if w.Stats.NaksSent != 1 {
+		t.Fatalf("naks sent = %d", w.Stats.NaksSent)
+	}
+	// Frame 0 arrives: deliver, then release frame 1 via EnqueueDeliver.
+	f0, env0 := dataFrame(h, w, 0, 0, []byte("zero"))
+	defer f0.Free()
+	ctx := h.ctx(env0)
+	if v, _ := h.st.PreDeliver(ctx, f0); v != stack.Continue {
+		t.Fatal("in-seq frame rejected")
+	}
+	h.st.PostDeliver(ctx, f0)
+	h.svc.runDeferred()
+	if len(h.svc.enq) != 1 {
+		t.Fatalf("enqueued releases = %d", len(h.svc.enq))
+	}
+	if !bytes.Equal(h.svc.enq[0].m.Payload(), []byte("one")) {
+		t.Fatal("released wrong frame")
+	}
+	if w.Expected() != 2 {
+		t.Fatalf("expected = %d", w.Expected())
+	}
+}
+
+func TestWindowFutureWithoutBufferingDrops(t *testing.T) {
+	w := NewWindow()
+	w.BufferOutOfOrder = false
+	w.Naks = true
+	h := windowHarness(t, w)
+	f1, env1 := dataFrame(h, w, 3, 0, nil)
+	defer f1.Free()
+	if v, _ := h.st.PreDeliver(h.ctx(env1), f1); v != stack.Drop {
+		t.Fatal("future frame not dropped")
+	}
+	h.svc.runDeferred()
+	if w.Stats.NaksSent != 1 {
+		t.Fatalf("naks = %d", w.Stats.NaksSent)
+	}
+}
+
+func TestWindowNakTriggersResend(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	h.send([]byte("frame0"))
+	h.send([]byte("frame1"))
+	m, env := ctrlFrame(h, w, TypeNak, 1, 0)
+	defer m.Free()
+	if v, _ := h.st.PreDeliver(h.ctx(env), m); v != stack.Consume {
+		t.Fatal("nak not consumed")
+	}
+	h.svc.runDeferred()
+	if len(h.svc.raws) != 1 {
+		t.Fatalf("raw resends = %d", len(h.svc.raws))
+	}
+	if !bytes.Equal(h.svc.raws[0].payload, []byte("frame1")) {
+		t.Fatalf("resent wrong frame: %q", h.svc.raws[0].payload)
+	}
+	if !h.svc.raws[0].connID {
+		t.Fatal("retransmission must carry the connection identification")
+	}
+}
+
+func TestWindowTimeoutRetransmitsAll(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	h.send([]byte("a"))
+	h.send([]byte("b"))
+	h.clk.Advance(w.rto())
+	if len(h.svc.raws) != 2 {
+		t.Fatalf("retransmits = %d, want 2", len(h.svc.raws))
+	}
+	if w.Stats.Timeouts != 1 {
+		t.Fatalf("timeouts = %d", w.Stats.Timeouts)
+	}
+	// Backoff: next timeout takes twice as long.
+	h.clk.Advance(w.rto())
+	if len(h.svc.raws) != 2 {
+		t.Fatal("retransmitted before backoff expired")
+	}
+	h.clk.Advance(w.rto())
+	if len(h.svc.raws) != 4 {
+		t.Fatalf("retransmits after backoff = %d, want 4", len(h.svc.raws))
+	}
+}
+
+func TestWindowAckStopsRetransmit(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	h.send([]byte("a"))
+	m, env := ctrlFrame(h, w, TypeAck, 0, 1)
+	defer m.Free()
+	h.st.PreDeliver(h.ctx(env), m)
+	h.svc.runDeferred()
+	h.clk.Advance(10 * w.rto())
+	if len(h.svc.raws) != 0 {
+		t.Fatalf("retransmits after full ack = %d", len(h.svc.raws))
+	}
+}
+
+func TestWindowDelayedAck(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	m, env := dataFrame(h, w, 0, 0, []byte("x"))
+	defer m.Free()
+	ctx := h.ctx(env)
+	h.st.PreDeliver(ctx, m)
+	h.st.PostDeliver(ctx, m)
+	h.svc.runDeferred()
+	if w.Stats.AcksSent != 0 {
+		t.Fatal("acked immediately despite small pending count")
+	}
+	h.clk.Advance(w.delayedAck())
+	if w.Stats.AcksSent != 1 {
+		t.Fatalf("acks after delayed-ack timer = %d", w.Stats.AcksSent)
+	}
+}
+
+func TestWindowAckEveryThreshold(t *testing.T) {
+	w := NewWindow()
+	w.Size = 4 // ackEvery = 2
+	h := windowHarness(t, w)
+	for i := uint32(0); i < 2; i++ {
+		m, env := dataFrame(h, w, i, 0, []byte("x"))
+		ctx := h.ctx(env)
+		h.st.PreDeliver(ctx, m)
+		h.st.PostDeliver(ctx, m)
+		h.svc.runDeferred()
+		m.Free()
+	}
+	if w.Stats.AcksSent != 1 {
+		t.Fatalf("acks = %d, want 1 after %d deliveries", w.Stats.AcksSent, 2)
+	}
+}
+
+func TestWindowPiggybackSuppressesAck(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	m, env := dataFrame(h, w, 0, 0, []byte("x"))
+	defer m.Free()
+	ctx := h.ctx(env)
+	h.st.PreDeliver(ctx, m)
+	h.st.PostDeliver(ctx, m)
+	h.svc.runDeferred()
+	// Reverse data goes out before the delayed ack fires: it piggybacks.
+	h.send([]byte("reply"))
+	h.clk.Advance(10 * w.delayedAck())
+	if w.Stats.AcksSent != 0 {
+		t.Fatalf("standalone acks = %d, want 0 (piggybacked)", w.Stats.AcksSent)
+	}
+}
+
+func TestWindowPreDeliverIsPure(t *testing.T) {
+	// PreDeliver on a data frame defers all bookkeeping: state must be
+	// unchanged until runDeferred.
+	w := NewWindow()
+	h := windowHarness(t, w)
+	m, env := dataFrame(h, w, 5, 3, nil) // future frame with ack info
+	defer m.Free()
+	before := *w
+	h.st.PreDeliver(h.ctx(env), m)
+	if w.expected != before.expected || w.ackedTo != before.ackedTo ||
+		w.nextSeq != before.nextSeq || len(w.oooBuf) != 0 {
+		t.Fatal("PreDeliver mutated window state")
+	}
+}
+
+func TestWindowSeqLT(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, false}, {5, 5, false},
+		{0xFFFFFFFF, 0, true}, // wraparound
+		{0, 0xFFFFFFFF, false},
+		{0x7FFFFFFF, 0x80000000, true},
+	}
+	for _, c := range cases {
+		if got := seqLT(c.a, c.b); got != c.want {
+			t.Errorf("seqLT(%#x,%#x) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestWindowStaleAckIgnored(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	h.send([]byte("a"))
+	h.send([]byte("b"))
+	m, env := ctrlFrame(h, w, TypeAck, 0, 2)
+	defer m.Free()
+	h.st.PreDeliver(h.ctx(env), m)
+	h.svc.runDeferred()
+	// A stale ack (1) arrives late: must not regress.
+	m2, env2 := ctrlFrame(h, w, TypeAck, 0, 1)
+	defer m2.Free()
+	h.st.PreDeliver(h.ctx(env2), m2)
+	h.svc.runDeferred()
+	if w.ackedTo != 2 {
+		t.Fatalf("ackedTo = %d", w.ackedTo)
+	}
+}
+
+func TestWindowDoubledLayers(t *testing.T) {
+	// The §5 experiment: the window layer stacked twice must still work
+	// (each instance registers its own fields).
+	w1, w2 := NewWindow(), NewWindow()
+	h := newHarness(t, w1, w2)
+	_, env := h.send([]byte("x"))
+	if got := w1.seq.Read(env.Hdr[header.ProtoSpec], env.Order); got != 0 {
+		t.Fatalf("w1 seq = %d", got)
+	}
+	if got := w2.seq.Read(env.Hdr[header.ProtoSpec], env.Order); got != 0 {
+		t.Fatalf("w2 seq = %d", got)
+	}
+	if w1.Outstanding() != 1 || w2.Outstanding() != 1 {
+		t.Fatal("both instances must save the frame")
+	}
+	// Proto-spec header now carries two seq fields + two type bits.
+	if h.schema.Size(header.ProtoSpec) < 9 {
+		t.Fatalf("doubled proto-spec header = %d bytes", h.schema.Size(header.ProtoSpec))
+	}
+}
+
+func TestWindowFarFutureFreed(t *testing.T) {
+	w := NewWindow()
+	h := windowHarness(t, w)
+	far, env := dataFrame(h, w, 1000, 0, nil)
+	h.st.PreDeliver(h.ctx(env), far)
+	h.svc.runDeferred()
+	if len(w.oooBuf) != 0 {
+		t.Fatal("absurdly far future frame stored")
+	}
+}
+
+func TestWindowConfigDefaults(t *testing.T) {
+	w := NewWindow()
+	if w.size() != DefaultWindowSize {
+		t.Fatal("default size")
+	}
+	if w.ackEvery() != DefaultWindowSize/2 {
+		t.Fatal("default ackEvery")
+	}
+	if w.rto() != DefaultRetransTimeout {
+		t.Fatal("default rto")
+	}
+	if w.delayedAck() != DefaultDelayedAck {
+		t.Fatal("default delayed ack")
+	}
+	w.Size = 8
+	w.AckEvery = 3
+	w.RetransTimeout = time.Second
+	w.DelayedAck = time.Millisecond * 7
+	if w.size() != 8 || w.ackEvery() != 3 || w.rto() != time.Second || w.delayedAck() != 7*time.Millisecond {
+		t.Fatal("explicit config ignored")
+	}
+}
+
+func TestAdaptiveRTOEstimation(t *testing.T) {
+	w := NewWindow()
+	w.AdaptiveRTO = true
+	w.RetransTimeout = 200 * time.Millisecond
+	h := windowHarness(t, w)
+	// Before any sample, the RTO is the configured maximum.
+	if w.rto() != 200*time.Millisecond {
+		t.Fatalf("initial rto = %v", w.rto())
+	}
+	// Send a frame, then ack it 500 µs later: the estimator converges
+	// toward the observed round trip.
+	h.send([]byte("sample"))
+	h.clk.Advance(500 * time.Microsecond)
+	m, env := ctrlFrame(h, w, TypeAck, 0, 1)
+	defer m.Free()
+	h.st.PreDeliver(h.ctx(env), m)
+	h.svc.runDeferred()
+	srtt, rttvar := w.RTTEstimate()
+	if srtt != 500*time.Microsecond || rttvar != 250*time.Microsecond {
+		t.Fatalf("first sample: srtt=%v rttvar=%v", srtt, rttvar)
+	}
+	// rto = srtt + 4*rttvar = 1.5ms, above the floor (200ms/8 = 25ms)?
+	// No: 1.5ms < 25ms, so the floor clamps it.
+	if got := w.rto(); got != 25*time.Millisecond {
+		t.Fatalf("rto = %v, want the 25ms floor", got)
+	}
+}
+
+func TestAdaptiveRTOKarnsRule(t *testing.T) {
+	w := NewWindow()
+	w.AdaptiveRTO = true
+	h := windowHarness(t, w)
+	h.send([]byte("frame"))
+	// Timeout fires: the frame is retransmitted, so its eventual ack
+	// must not contribute an RTT sample (it is ambiguous).
+	h.clk.Advance(w.rto())
+	if len(h.svc.raws) != 1 {
+		t.Fatalf("retransmits = %d", len(h.svc.raws))
+	}
+	h.clk.Advance(time.Millisecond)
+	m, env := ctrlFrame(h, w, TypeAck, 0, 1)
+	defer m.Free()
+	h.st.PreDeliver(h.ctx(env), m)
+	h.svc.runDeferred()
+	if srtt, _ := w.RTTEstimate(); srtt != 0 {
+		t.Fatalf("retransmitted frame contributed a sample: srtt=%v", srtt)
+	}
+}
+
+func TestAdaptiveRTOConvergence(t *testing.T) {
+	w := NewWindow()
+	w.AdaptiveRTO = true
+	w.RetransTimeout = time.Second
+	h := windowHarness(t, w)
+	// Feed many consistent samples; srtt converges and the RTO drops
+	// well below the maximum (but respects the floor).
+	for i := uint32(0); i < 40; i++ {
+		h.send([]byte("x"))
+		h.clk.Advance(40 * time.Millisecond)
+		m, env := ctrlFrame(h, w, TypeAck, 0, i+1)
+		h.st.PreDeliver(h.ctx(env), m)
+		h.svc.runDeferred()
+		m.Free()
+	}
+	srtt, _ := w.RTTEstimate()
+	if srtt < 35*time.Millisecond || srtt > 45*time.Millisecond {
+		t.Fatalf("srtt = %v, want ≈40ms", srtt)
+	}
+	if got := w.rto(); got >= time.Second || got < 40*time.Millisecond {
+		t.Fatalf("adapted rto = %v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"paccel/internal/bits"
+)
+
+func TestNewPayload(t *testing.T) {
+	m := New([]byte("hello"))
+	defer m.Free()
+	if !bytes.Equal(m.Payload(), []byte("hello")) {
+		t.Fatalf("payload = %q", m.Payload())
+	}
+	if m.Len() != 5 || m.PayloadLen() != 5 {
+		t.Fatalf("len=%d payloadLen=%d", m.Len(), m.PayloadLen())
+	}
+	if m.Headroom() != DefaultHeadroom {
+		t.Fatalf("headroom = %d", m.Headroom())
+	}
+}
+
+func TestNewCopiesPayload(t *testing.T) {
+	src := []byte("abc")
+	m := New(src)
+	defer m.Free()
+	src[0] = 'X'
+	if m.Payload()[0] != 'a' {
+		t.Fatal("payload aliases caller's buffer")
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	m := New([]byte("payload"))
+	defer m.Free()
+	copy(m.Push(3), "hdr")
+	copy(m.Push(2), "pp")
+	if !bytes.Equal(m.Bytes(), []byte("pphdrpayload")) {
+		t.Fatalf("wire = %q", m.Bytes())
+	}
+	got, err := m.Pop(2)
+	if err != nil || !bytes.Equal(got, []byte("pp")) {
+		t.Fatalf("pop = %q, %v", got, err)
+	}
+	got, err = m.Pop(3)
+	if err != nil || !bytes.Equal(got, []byte("hdr")) {
+		t.Fatalf("pop = %q, %v", got, err)
+	}
+	if !bytes.Equal(m.Bytes(), []byte("payload")) {
+		t.Fatalf("after pops wire = %q", m.Bytes())
+	}
+}
+
+func TestPushZeroes(t *testing.T) {
+	m := New(nil)
+	defer m.Free()
+	r := m.Push(4)
+	copy(r, "junk")
+	if _, err := m.Pop(4); err != nil {
+		t.Fatal(err)
+	}
+	r2 := m.Push(4)
+	for _, b := range r2 {
+		if b != 0 {
+			t.Fatal("Push returned unzeroed region")
+		}
+	}
+}
+
+func TestPopTooMuch(t *testing.T) {
+	m := New([]byte("ab"))
+	defer m.Free()
+	if _, err := m.Pop(3); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := m.Pop(-1); err == nil {
+		t.Fatal("expected error for negative pop")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	m := New([]byte("abcdef"))
+	defer m.Free()
+	got, err := m.Peek(3)
+	if err != nil || !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("peek = %q, %v", got, err)
+	}
+	if m.Len() != 6 {
+		t.Fatal("peek consumed bytes")
+	}
+	if _, err := m.Peek(7); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := NewWithHeadroom([]byte("data"), 2)
+	defer m.Free()
+	copy(m.Push(10), "0123456789")
+	if !bytes.Equal(m.Bytes(), []byte("0123456789data")) {
+		t.Fatalf("wire = %q", m.Bytes())
+	}
+	if !bytes.Equal(m.Payload(), []byte("data")) {
+		t.Fatalf("payload after grow = %q", m.Payload())
+	}
+}
+
+func TestFromWire(t *testing.T) {
+	m := FromWire([]byte("HHdata"))
+	defer m.Free()
+	if m.Len() != 6 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	hdr, err := m.Pop(2)
+	if err != nil || !bytes.Equal(hdr, []byte("HH")) {
+		t.Fatalf("pop = %q, %v", hdr, err)
+	}
+	if !bytes.Equal(m.Payload(), []byte("data")) {
+		t.Fatalf("payload = %q", m.Payload())
+	}
+}
+
+func TestFromWireCopies(t *testing.T) {
+	d := []byte("xyz")
+	m := FromWire(d)
+	defer m.Free()
+	d[0] = '!'
+	b, _ := m.Peek(1)
+	if b[0] != 'x' {
+		t.Fatal("FromWire aliases datagram")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New([]byte("data"))
+	defer m.Free()
+	copy(m.Push(2), "hh")
+	m.Order = bits.LittleEndian
+	c := m.Clone()
+	defer c.Free()
+	if !bytes.Equal(c.Bytes(), m.Bytes()) || c.Order != m.Order {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone must not affect the original.
+	c.Push(1)[0] = 'Z'
+	if bytes.Equal(c.Bytes(), m.Bytes()) {
+		t.Fatal("clone shares storage")
+	}
+	if !bytes.Equal(m.Bytes(), []byte("hhdata")) {
+		t.Fatalf("original corrupted: %q", m.Bytes())
+	}
+}
+
+func TestAppendPayload(t *testing.T) {
+	m := New([]byte("ab"))
+	defer m.Free()
+	m.AppendPayload([]byte("cdef"))
+	m.AppendPayload(bytes.Repeat([]byte("x"), 500))
+	want := append([]byte("abcdef"), bytes.Repeat([]byte("x"), 500)...)
+	if !bytes.Equal(m.Payload(), want) {
+		t.Fatalf("payload len = %d, want %d", m.PayloadLen(), len(want))
+	}
+}
+
+func TestMarkPayload(t *testing.T) {
+	m := FromWire([]byte("aabbcc"))
+	defer m.Free()
+	if _, err := m.Pop(2); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkPayload()
+	if !bytes.Equal(m.Payload(), []byte("bbcc")) {
+		t.Fatalf("payload = %q", m.Payload())
+	}
+}
+
+func TestFreeNil(t *testing.T) {
+	var m *Msg
+	m.Free() // must not panic
+}
+
+func TestPushNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := New(nil)
+	defer m.Free()
+	m.Push(-1)
+}
+
+func TestPoolReuseIsClean(t *testing.T) {
+	m := New([]byte("secret"))
+	m.Push(8)
+	m.Free()
+	m2 := New([]byte("ab"))
+	defer m2.Free()
+	if !bytes.Equal(m2.Payload(), []byte("ab")) || m2.Len() != 2 {
+		t.Fatalf("reused message dirty: %q len=%d", m2.Payload(), m2.Len())
+	}
+}
+
+// Property: any sequence of pushes followed by matching pops restores the
+// original payload.
+func TestQuickPushPopInverse(t *testing.T) {
+	f := func(payload []byte, hdrs [][]byte) bool {
+		m := New(payload)
+		defer m.Free()
+		for _, h := range hdrs {
+			if len(h) > 64 {
+				h = h[:64]
+			}
+			m.PushBytes(h)
+		}
+		for i := len(hdrs) - 1; i >= 0; i-- {
+			h := hdrs[i]
+			if len(h) > 64 {
+				h = h[:64]
+			}
+			got, err := m.Pop(len(h))
+			if err != nil || !bytes.Equal(got, h) {
+				return false
+			}
+		}
+		return bytes.Equal(m.Payload(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wire image survives FromWire round-trip.
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		m := FromWire(b)
+		defer m.Free()
+		return bytes.Equal(m.Bytes(), b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNewFree(b *testing.B) {
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(payload)
+		m.Free()
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	m := New(make([]byte, 8))
+	defer m.Free()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Push(24)
+		if _, err := m.Pop(24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package netsim simulates the unreliable, message-oriented, low-latency
+// network interface the paper runs over (U-Net on 140 Mbit/s ATM).
+//
+// The simulated network delivers datagrams between endpoints with
+// configurable one-way latency, jitter, bit rate (serialization delay),
+// loss, duplication, and reordering. Under a vclock.Manual clock and a
+// fixed seed, behaviour is fully deterministic, which the protocol tests
+// rely on. With zero latency, delivery is synchronous in Send, which the
+// benchmarks rely on.
+//
+// Like U-Net, the network is unreliable: messages may be dropped (loss
+// injection, closed endpoints, oversized frames are an error) and no
+// acknowledgements exist at this level — reliability is the protocol
+// stack's job.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"paccel/internal/vclock"
+)
+
+// Addr names an endpoint on a simulated network. It is an alias, not a
+// defined type, so netsim endpoints satisfy transport interfaces declared
+// over plain strings (e.g. the core engine's Transport).
+type Addr = string
+
+// ErrTooLarge is returned by Send for datagrams over the network MTU.
+var ErrTooLarge = errors.New("netsim: datagram exceeds MTU")
+
+// ErrClosed is returned by Send on a closed endpoint.
+var ErrClosed = errors.New("netsim: endpoint closed")
+
+// DefaultMTU is the default maximum datagram size: the classic IP-over-ATM
+// MTU of the paper's network.
+const DefaultMTU = 9180
+
+// Config controls the simulated network. The zero value is a perfect,
+// instantaneous network.
+type Config struct {
+	// Latency is the one-way propagation delay. The paper's U-Net/ATM
+	// configuration measures ~35 µs.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each delivery.
+	Jitter time.Duration
+	// BitRate, if non-zero, models serialization delay and link
+	// occupancy in bits per second (the paper's ATM: 140e6).
+	BitRate float64
+	// LossRate, DupRate, ReorderRate are per-message probabilities in
+	// [0, 1]. Reordering defers a message by an extra latency.
+	LossRate    float64
+	DupRate     float64
+	ReorderRate float64
+	// MTU is the maximum datagram size; 0 means DefaultMTU.
+	MTU int
+	// Seed makes fault injection reproducible; 0 means a fixed default.
+	Seed int64
+}
+
+// PaperConfig returns the paper's testbed network: 35 µs one-way latency
+// over 140 Mbit/s ATM, no loss ("in our experiments no message loss was
+// detected", §5).
+func PaperConfig() Config {
+	return Config{Latency: 35 * time.Microsecond, BitRate: 140e6}
+}
+
+// Stats counts network-level events.
+type Stats struct {
+	Sent, Delivered, Lost, Duplicated, Reordered uint64
+	BytesSent                                    uint64
+}
+
+// Network is a simulated datagram network.
+type Network struct {
+	clock vclock.Clock
+	cfg   Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	eps    map[Addr]*Endpoint
+	links  map[link]*linkState
+	down   map[link]bool
+	seq    uint64
+	stats  Stats
+	closed bool
+}
+
+type link struct{ src, dst Addr }
+
+type linkState struct{ nextFree time.Time }
+
+// New creates a network driven by the given clock.
+func New(clock vclock.Clock, cfg Config) *Network {
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1996
+	}
+	return &Network{
+		clock: clock,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		eps:   make(map[Addr]*Endpoint),
+		links: make(map[link]*linkState),
+		down:  make(map[link]bool),
+	}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SetLinkDown partitions (or heals) the directed link src→dst.
+func (n *Network) SetLinkDown(src, dst Addr, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[link{src, dst}] = isDown
+}
+
+// Endpoint attaches (or returns) the endpoint with the given address.
+func (n *Network) Endpoint(addr Addr) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[addr]; ok {
+		return ep
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.eps[addr] = ep
+	return ep
+}
+
+// Endpoint is one attachment point, implementing the unreliable datagram
+// contract the Protocol Accelerator's router consumes.
+type Endpoint struct {
+	net  *Network
+	addr Addr
+
+	mu       sync.Mutex
+	handler  func(src Addr, datagram []byte)
+	inbox    deliveryHeap
+	draining bool
+	closed   bool
+}
+
+// LocalAddr returns the endpoint's address.
+func (e *Endpoint) LocalAddr() Addr { return e.addr }
+
+// SetHandler installs the receive callback. The handler runs on the
+// delivering goroutine (a timer callback, or the sender itself when the
+// network is instantaneous) and owns the datagram slice.
+func (e *Endpoint) SetHandler(h func(src Addr, datagram []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Close detaches the endpoint; further sends fail and queued deliveries
+// are discarded.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	e.inbox = nil
+	return nil
+}
+
+// Send transmits a datagram to dst. The data is copied. Delivery is
+// unreliable and — when the configured latency, jitter and bit rate are
+// all zero — synchronous: the destination handler runs before Send
+// returns.
+func (e *Endpoint) Send(dst Addr, datagram []byte) error {
+	n := e.net
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	if len(datagram) > n.cfg.MTU {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(datagram), n.cfg.MTU)
+	}
+
+	n.mu.Lock()
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(datagram))
+	if n.down[link{e.addr, dst}] {
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil
+	}
+	target, ok := n.eps[dst]
+	if !ok {
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil
+	}
+	copies := 1
+	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		copies = 2
+		n.stats.Duplicated++
+	}
+
+	now := n.clock.Now()
+	for c := 0; c < copies; c++ {
+		delay := n.cfg.Latency
+		if n.cfg.Jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		}
+		if n.cfg.ReorderRate > 0 && n.rng.Float64() < n.cfg.ReorderRate {
+			delay += n.cfg.Latency + time.Duration(n.rng.Int63n(int64(n.cfg.Latency)+1))
+			n.stats.Reordered++
+		}
+		arrival := now.Add(delay)
+		if n.cfg.BitRate > 0 {
+			tx := time.Duration(float64(len(datagram)*8) / n.cfg.BitRate * float64(time.Second))
+			l := link{e.addr, dst}
+			ls := n.links[l]
+			if ls == nil {
+				ls = &linkState{}
+				n.links[l] = ls
+			}
+			start := now
+			if ls.nextFree.After(start) {
+				start = ls.nextFree
+			}
+			ls.nextFree = start.Add(tx)
+			arrival = ls.nextFree.Add(n.cfg.Latency)
+		}
+		n.seq++
+		d := delivery{
+			src: e.addr, data: append([]byte(nil), datagram...),
+			arrival: arrival, seq: n.seq,
+		}
+		if arrival.After(now) {
+			n.mu.Unlock()
+			n.clock.AfterFunc(arrival.Sub(now), func() { target.deliver(d) })
+			n.mu.Lock()
+		} else {
+			n.mu.Unlock()
+			target.deliver(d)
+			n.mu.Lock()
+		}
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+type delivery struct {
+	src     Addr
+	data    []byte
+	arrival time.Time
+	seq     uint64
+}
+
+// deliver hands a datagram to the endpoint handler, preserving
+// (arrival, seq) order even if timer callbacks race: concurrent deliveries
+// queue behind the goroutine already draining the inbox. Each datagram is
+// popped before its handler runs, so a concurrent Close (or an
+// earlier-sorting arrival during a handler) can never corrupt the drain.
+func (e *Endpoint) deliver(d delivery) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	heap.Push(&e.inbox, d)
+	if e.draining {
+		// Another goroutine is draining; it will pick this up.
+		e.mu.Unlock()
+		return
+	}
+	e.draining = true
+	handled := uint64(0)
+	for !e.closed && len(e.inbox) > 0 {
+		next := heap.Pop(&e.inbox).(delivery)
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil {
+			h(next.src, next.data)
+		}
+		handled++
+		e.mu.Lock()
+	}
+	e.draining = false
+	e.mu.Unlock()
+	e.net.noteDelivered(handled)
+}
+
+func (n *Network) noteDelivered(count uint64) {
+	n.mu.Lock()
+	n.stats.Delivered += count
+	n.mu.Unlock()
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].arrival.Equal(h[j].arrival) {
+		return h[i].arrival.Before(h[j].arrival)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}

@@ -1,0 +1,170 @@
+// Package rpc provides request/response calls over accelerated
+// connections — the workload of the paper's §6 "Maximum Load" discussion
+// ("a server that uses a PA for each client", RPCs bounded by
+// post-processing). It correlates concurrent in-flight calls, applies
+// deadlines, and keeps the PA's fast path hot: a call is two small
+// messages, each predicted after the first exchange.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Conn is the connection surface rpc needs; *core.Conn satisfies it.
+type Conn interface {
+	Send(payload []byte) error
+	OnDeliver(fn func(payload []byte))
+}
+
+// Errors returned by Call.
+var (
+	// ErrTimeout reports a call that exceeded its deadline.
+	ErrTimeout = errors.New("rpc: call timed out")
+	// ErrClientClosed reports calls on a closed client.
+	ErrClientClosed = errors.New("rpc: client closed")
+)
+
+// Frame layout: id(8) | flags(1) | body. Flag bit 0 distinguishes
+// responses from requests.
+const (
+	headerLen    = 9
+	flagResponse = 1
+)
+
+func encodeFrame(id uint64, response bool, body []byte) []byte {
+	f := make([]byte, headerLen+len(body))
+	binary.BigEndian.PutUint64(f, id)
+	if response {
+		f[8] = flagResponse
+	}
+	copy(f[headerLen:], body)
+	return f
+}
+
+func decodeFrame(f []byte) (id uint64, response bool, body []byte, err error) {
+	if len(f) < headerLen {
+		return 0, false, nil, fmt.Errorf("rpc: short frame (%d bytes)", len(f))
+	}
+	return binary.BigEndian.Uint64(f), f[8]&flagResponse != 0, f[headerLen:], nil
+}
+
+// Client issues calls over one connection. It is safe for concurrent use;
+// calls may be in flight simultaneously (the window permits 16).
+type Client struct {
+	conn Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan []byte
+	closed  bool
+
+	// DefaultTimeout bounds Call when no deadline is set; zero means
+	// wait forever.
+	DefaultTimeout time.Duration
+}
+
+// NewClient wraps an accelerated connection. It takes over the
+// connection's delivery callback.
+func NewClient(conn Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan []byte)}
+	conn.OnDeliver(c.onDeliver)
+	return c
+}
+
+func (c *Client) onDeliver(payload []byte) {
+	id, response, body, err := decodeFrame(payload)
+	if err != nil || !response {
+		return // not ours: a stray request or noise
+	}
+	c.mu.Lock()
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- append([]byte(nil), body...)
+	}
+}
+
+// Call sends a request and waits for its response.
+func (c *Client) Call(req []byte) ([]byte, error) {
+	return c.CallTimeout(req, c.DefaultTimeout)
+}
+
+// CallTimeout is Call with an explicit deadline (zero: wait forever).
+func (c *Client) CallTimeout(req []byte, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan []byte, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Send(encodeFrame(id, false, req)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-timeoutCh:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
+}
+
+// Pending returns the number of in-flight calls.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Close fails all in-flight and future calls.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// Handler computes a response body from a request body. It runs on the
+// delivery path; long handlers should hand off to their own goroutines
+// and respond via the returned payload only when ready (or use Serve on a
+// worker pool above this layer).
+type Handler func(req []byte) (resp []byte)
+
+// Serve attaches a handler to a server-side connection: every incoming
+// request frame is answered on the same connection. It returns the
+// detach function.
+func Serve(conn Conn, h Handler) {
+	conn.OnDeliver(func(payload []byte) {
+		id, response, body, err := decodeFrame(payload)
+		if err != nil || response {
+			return
+		}
+		resp := h(body)
+		_ = conn.Send(encodeFrame(id, true, resp))
+	})
+}

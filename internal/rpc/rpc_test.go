@@ -1,0 +1,204 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paccel/internal/core"
+	"paccel/internal/netsim"
+	"paccel/internal/vclock"
+)
+
+// pair dials two accelerated endpoints on an instantaneous network.
+func pair(t *testing.T) (client, server *core.Conn) {
+	t.Helper()
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	epA, err := core.NewEndpoint(core.Config{Transport: net.Endpoint("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := core.NewEndpoint(core.Config{Transport: net.Endpoint("B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { epA.Close(); epB.Close() })
+	a, err := epA.Dial(core.PeerSpec{Addr: "B", LocalID: []byte("cli"), RemoteID: []byte("srv"), LocalPort: 1, RemotePort: 2, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epB.Dial(core.PeerSpec{Addr: "A", LocalID: []byte("srv"), RemoteID: []byte("cli"), LocalPort: 2, RemotePort: 1, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestCallResponse(t *testing.T) {
+	a, b := pair(t)
+	Serve(b, func(req []byte) []byte { return append([]byte("pong:"), req...) })
+	c := NewClient(a)
+	defer c.Close()
+	resp, err := c.Call([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("pong:ping")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestSequentialCalls(t *testing.T) {
+	a, b := pair(t)
+	Serve(b, func(req []byte) []byte { return req })
+	c := NewClient(a)
+	defer c.Close()
+	for i := 0; i < 200; i++ {
+		req := []byte(fmt.Sprintf("r%d", i))
+		resp, err := c.Call(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp, req) {
+			t.Fatalf("call %d: %q", i, resp)
+		}
+	}
+	// The fast path carried nearly everything.
+	// (First message each way bears the identification.)
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	a, b := pair(t)
+	Serve(b, func(req []byte) []byte { return req })
+	c := NewClient(a)
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				req := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				resp, err := c.CallTimeout(req, 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, req) {
+					errs <- fmt.Errorf("correlation broke: sent %q got %q", req, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	a, _ := pair(t) // no Serve: requests vanish into the void
+	c := NewClient(a)
+	defer c.Close()
+	start := time.Now()
+	_, err := c.CallTimeout([]byte("x"), 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took too long")
+	}
+	if c.Pending() != 0 {
+		t.Fatal("timed-out call leaked")
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	a, b := pair(t)
+	Serve(b, func(req []byte) []byte { return req })
+	c := NewClient(a)
+	c.Close()
+	if _, err := c.Call([]byte("x")); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	f := encodeFrame(42, true, []byte("body"))
+	id, resp, body, err := decodeFrame(f)
+	if err != nil || id != 42 || !resp || !bytes.Equal(body, []byte("body")) {
+		t.Fatalf("round trip: %d %v %q %v", id, resp, body, err)
+	}
+	if _, _, _, err := decodeFrame([]byte{1, 2}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestStrayFramesIgnored(t *testing.T) {
+	a, b := pair(t)
+	Serve(b, func(req []byte) []byte { return req })
+	c := NewClient(a)
+	defer c.Close()
+	// A response with an unknown id and a short frame must both be
+	// ignored without panic; then a real call still works.
+	if err := b.Send(encodeFrame(9999, true, []byte("stray"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.CallTimeout([]byte("after-noise"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("after-noise")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestOverLossyNetwork(t *testing.T) {
+	// RPCs over a lossy link: the stack's retransmission makes calls
+	// reliable; only the deadline bounds them.
+	clkNet := netsim.New(vclock.Real{}, netsim.Config{LossRate: 0.2, Seed: 3})
+	epA, err := core.NewEndpoint(core.Config{Transport: clkNet.Endpoint("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := core.NewEndpoint(core.Config{Transport: clkNet.Endpoint("B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	mk := func(ep *core.Endpoint, addr string, lp, rp uint16, l, r string) *core.Conn {
+		c, err := ep.Dial(core.PeerSpec{Addr: addr, LocalID: []byte(l), RemoteID: []byte(r), LocalPort: lp, RemotePort: rp, Epoch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := mk(epA, "B", 1, 2, "cli", "srv")
+	b := mk(epB, "A", 2, 1, "srv", "cli")
+	Serve(b, func(req []byte) []byte { return req })
+	c := NewClient(a)
+	defer c.Close()
+	for i := 0; i < 30; i++ {
+		req := []byte(fmt.Sprintf("lossy-%d", i))
+		resp, err := c.CallTimeout(req, 10*time.Second)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, req) {
+			t.Fatalf("call %d: %q", i, resp)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package stack is the layered protocol framework the Protocol
+// Accelerator accelerates — the Horus substrate of the paper.
+//
+// Layers follow canonical protocol processing (paper §3.1): every send and
+// delivery is split into a pre-processing phase that builds or checks
+// header fields without touching protocol state, and a post-processing
+// phase that updates state and predicts the next message's
+// protocol-specific header (§3.2). Because pre phases are pure, the engine
+// may run all pre phases before any post phase, transmit or deliver in
+// between, and defer the post phases off the critical path entirely.
+//
+// A layer that must act from a pre phase (send a nak, release a buffered
+// message) does not mutate anything directly; it registers the action with
+// Services.Defer, and the engine runs it at post-processing time. This
+// keeps the canonical-form property testable: a pre phase that returns
+// Continue leaves its layer bit-for-bit unchanged.
+package stack
+
+import (
+	"fmt"
+	"time"
+
+	"paccel/internal/bits"
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/vclock"
+)
+
+// Verdict is the outcome of a pre-processing phase.
+type Verdict int
+
+// Pre-phase verdicts.
+const (
+	// Continue passes the message to the next layer (and ultimately to
+	// the network or the application).
+	Continue Verdict = iota
+	// Consume stops processing: the layer has taken responsibility for
+	// the message (buffered a future fragment, absorbed an ack).
+	Consume
+	// Drop discards the message (duplicate, stale, corrupt).
+	Drop
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Continue:
+		return "continue"
+	case Consume:
+		return "consume"
+	case Drop:
+		return "drop"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Layer is one protocol micro-layer in canonical form.
+//
+// Init registers header fields and packet-filter instructions. Prime runs
+// once, after the schema is compiled, to fill in the initial predicted
+// headers (and, for the bottom layer, the connection identification).
+// The four phase methods implement canonical protocol processing; the Pre*
+// methods must not modify layer state (use ctx.S.Defer for actions), the
+// Post* methods update state and rewrite this layer's fields in the
+// predicted headers.
+type Layer interface {
+	// Name identifies the layer in schema reports and errors.
+	Name() string
+	// Init registers the layer's header fields and filter code.
+	Init(ctx *InitContext) error
+	// Prime writes the layer's initial predicted header fields.
+	Prime(ctx *Context)
+	// PreSend fills the layer's header fields for an outgoing message.
+	PreSend(ctx *Context, m *message.Msg) Verdict
+	// PostSend updates protocol state after a send and predicts the
+	// layer's fields for the next outgoing message.
+	PostSend(ctx *Context, m *message.Msg)
+	// PreDeliver checks the layer's header fields of an incoming
+	// message.
+	PreDeliver(ctx *Context, m *message.Msg) Verdict
+	// PostDeliver updates protocol state after a delivery and predicts
+	// the layer's fields for the next incoming message.
+	PostDeliver(ctx *Context, m *message.Msg)
+}
+
+// InitContext carries the registration surfaces a layer uses during Init.
+type InitContext struct {
+	// Schema receives the layer's header fields.
+	Schema *header.Schema
+	// SendFilter and RecvFilter receive the layer's packet-filter
+	// instructions for message-specific information (§3.3).
+	SendFilter, RecvFilter *filter.Builder
+}
+
+// Context is passed to Prime and the four phase methods.
+type Context struct {
+	// Env exposes the current message's header regions, payload and
+	// byte order. It is nil during Prime.
+	Env *filter.Env
+	// Order is the connection's native byte order, used for the
+	// predicted header regions (whose writer is always the local side).
+	Order bits.ByteOrder
+	// PredictSend and PredictRecv expose the predicted header regions
+	// for the next send and the next delivery. PredictSend[ConnID] is
+	// the connection identification written during Prime. Valid in
+	// Prime and the Post* phases; pre phases must not write to them.
+	PredictSend [header.NumClasses][]byte
+	PredictRecv [header.NumClasses][]byte
+	// S is the engine's service surface.
+	S Services
+}
+
+// ControlOpts parameterizes a layer-generated message (§3.2: acks,
+// retransmissions, fragments).
+type ControlOpts struct {
+	// Build writes the generating layer's own header fields; it runs
+	// after the header regions have been pushed onto the message.
+	Build func(env *filter.Env)
+	// IncludeConnID marks the message "unusual": the connection
+	// identification travels with it (§2.2 — retransmissions).
+	IncludeConnID bool
+}
+
+// Services is the engine surface available to layers. The engine
+// serializes all calls on a connection, so layer code never needs its own
+// locking.
+type Services interface {
+	// Clock returns the connection's time source.
+	Clock() vclock.Clock
+	// AfterFunc schedules f on the connection's clock; f runs holding
+	// the connection lock.
+	AfterFunc(d time.Duration, f func()) vclock.Timer
+	// DisableSend increments the send-prediction disable counter
+	// (§3.2: e.g. the send window is full); EnableSend decrements it.
+	// While non-zero, application sends go to the backlog.
+	DisableSend()
+	EnableSend()
+	// DisableRecv and EnableRecv are the delivery-side counterpart.
+	DisableRecv()
+	EnableRecv()
+	// SendControl emits a layer-generated message from the given layer.
+	// It traverses only the layers below from (§3.2), then the send
+	// packet filter, and is transmitted immediately (control messages
+	// bypass the backlog).
+	SendControl(from Layer, m *message.Msg, opts ControlOpts) error
+	// SendRaw retransmits a message whose header regions are already
+	// complete (a clone saved at PostSend time). No layer code or
+	// filter runs.
+	SendRaw(m *message.Msg, includeConnID bool) error
+	// EnqueueDeliver re-enters the delivery path above from with a
+	// message the layer had buffered (reassembled data, in-order
+	// release).
+	EnqueueDeliver(from Layer, m *message.Msg)
+	// Defer queues f to run during post-processing of the current
+	// critical path. It is the only way a pre phase may cause effects.
+	Defer(f func())
+}
+
+// Stack is an ordered list of layers, index 0 on top (nearest the
+// application).
+type Stack struct {
+	layers []Layer
+	index  map[Layer]int
+}
+
+// NewStack builds a stack from top to bottom. Layer instances must be
+// distinct.
+func NewStack(layers ...Layer) (*Stack, error) {
+	s := &Stack{layers: layers, index: make(map[Layer]int, len(layers))}
+	for i, l := range layers {
+		if _, dup := s.index[l]; dup {
+			return nil, fmt.Errorf("stack: layer instance %q appears twice", l.Name())
+		}
+		s.index[l] = i
+	}
+	return s, nil
+}
+
+// Len returns the number of layers.
+func (s *Stack) Len() int { return len(s.layers) }
+
+// Layers returns the layers, top first. The slice must not be modified.
+func (s *Stack) Layers() []Layer { return s.layers }
+
+// Init runs every layer's Init, top to bottom, against the given
+// registration surfaces.
+func (s *Stack) Init(ic *InitContext) error {
+	for _, l := range s.layers {
+		if err := l.Init(ic); err != nil {
+			return fmt.Errorf("stack: init %s: %w", l.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Prime runs every layer's Prime, top to bottom.
+func (s *Stack) Prime(ctx *Context) {
+	for _, l := range s.layers {
+		l.Prime(ctx)
+	}
+}
+
+// PreSend runs the send pre-phases top to bottom, stopping at the first
+// non-Continue verdict, which it returns along with the index of the layer
+// that issued it (-1 when all layers continued).
+func (s *Stack) PreSend(ctx *Context, m *message.Msg) (Verdict, int) {
+	return s.preSendBelow(ctx, m, -1)
+}
+
+// preSendBelow runs send pre-phases for layers strictly below index from.
+func (s *Stack) preSendBelow(ctx *Context, m *message.Msg, from int) (Verdict, int) {
+	for i := from + 1; i < len(s.layers); i++ {
+		if v := s.layers[i].PreSend(ctx, m); v != Continue {
+			return v, i
+		}
+	}
+	return Continue, -1
+}
+
+// PostSend runs the send post-phases top to bottom.
+func (s *Stack) PostSend(ctx *Context, m *message.Msg) {
+	s.postSendBelow(ctx, m, -1)
+}
+
+func (s *Stack) postSendBelow(ctx *Context, m *message.Msg, from int) {
+	for i := from + 1; i < len(s.layers); i++ {
+		s.layers[i].PostSend(ctx, m)
+	}
+}
+
+// PreDeliver runs the delivery pre-phases bottom to top, stopping at the
+// first non-Continue verdict.
+func (s *Stack) PreDeliver(ctx *Context, m *message.Msg) (Verdict, int) {
+	return s.preDeliverAbove(ctx, m, len(s.layers))
+}
+
+// preDeliverAbove runs delivery pre-phases for layers strictly above index
+// from (bottom to top).
+func (s *Stack) preDeliverAbove(ctx *Context, m *message.Msg, from int) (Verdict, int) {
+	for i := from - 1; i >= 0; i-- {
+		if v := s.layers[i].PreDeliver(ctx, m); v != Continue {
+			return v, i
+		}
+	}
+	return Continue, -1
+}
+
+// PostDeliver runs the delivery post-phases bottom to top.
+func (s *Stack) PostDeliver(ctx *Context, m *message.Msg) {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		s.layers[i].PostDeliver(ctx, m)
+	}
+}
+
+// PostDeliverBelow runs the delivery post-phases of the layers strictly
+// below index i, bottom to top. When a layer buffers or drops a message in
+// pre-processing, the layers underneath it had accepted the message and
+// still get their post-processing ("the message is handed to the stack
+// again for post-processing", §4).
+func (s *Stack) PostDeliverBelow(ctx *Context, m *message.Msg, i int) {
+	for j := len(s.layers) - 1; j > i; j-- {
+		s.layers[j].PostDeliver(ctx, m)
+	}
+}
+
+// Index returns the position of l in the stack, or -1.
+func (s *Stack) Index(l Layer) int {
+	if i, ok := s.index[l]; ok {
+		return i
+	}
+	return -1
+}
+
+// ControlSend runs the send path for a control message generated by layer
+// from: pre phases of the layers below it only (§3.2).
+func (s *Stack) ControlSend(ctx *Context, m *message.Msg, from Layer) (Verdict, int) {
+	return s.preSendBelow(ctx, m, s.mustIndex(from))
+}
+
+// ControlPostSend runs the send post-phases of the layers below from.
+func (s *Stack) ControlPostSend(ctx *Context, m *message.Msg, from Layer) {
+	s.postSendBelow(ctx, m, s.mustIndex(from))
+}
+
+// DeliverAbove runs the delivery pre-phases of the layers above from, used
+// when a layer releases a buffered message.
+func (s *Stack) DeliverAbove(ctx *Context, m *message.Msg, from Layer) (Verdict, int) {
+	return s.preDeliverAbove(ctx, m, s.mustIndex(from))
+}
+
+// PostDeliverAbove runs the delivery post-phases of the layers above from.
+func (s *Stack) PostDeliverAbove(ctx *Context, m *message.Msg, from Layer) {
+	i := s.mustIndex(from)
+	for j := i - 1; j >= 0; j-- {
+		s.layers[j].PostDeliver(ctx, m)
+	}
+}
+
+func (s *Stack) mustIndex(l Layer) int {
+	i, ok := s.index[l]
+	if !ok {
+		panic(fmt.Sprintf("stack: layer %q not in stack", l.Name()))
+	}
+	return i
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small statistics helpers the experiment
+// harness uses: running summaries and percentiles over duration samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	values []time.Duration
+	sum    time.Duration
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.values = append(s.values, d)
+	s.sum += d
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(len(s.values))
+}
+
+// Min and Max return the extremes (0 if empty).
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() time.Duration {
+	var m time.Duration
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using the
+// nearest-rank method.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() time.Duration {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, v := range s.values {
+		d := float64(v) - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// Micros formats a duration as whole microseconds, the paper's unit.
+func Micros(d time.Duration) string {
+	return fmt.Sprintf("%.0f", float64(d)/float64(time.Microsecond))
+}
+
+// Rate converts a per-operation duration to operations per second.
+func Rate(perOp time.Duration) float64 {
+	if perOp <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(perOp)
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Percentile(50) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample not all-zero")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var s Sample
+	for _, v := range []int{1, 2, 3, 4, 5} {
+		s.Add(ms(v))
+	}
+	if s.N() != 5 || s.Mean() != ms(3) || s.Min() != ms(1) || s.Max() != ms(5) {
+		t.Fatalf("stats: %v", s.String())
+	}
+	if s.Percentile(50) != ms(3) {
+		t.Fatalf("p50 = %v", s.Percentile(50))
+	}
+	if s.Percentile(0) != ms(1) || s.Percentile(100) != ms(5) {
+		t.Fatal("extreme percentiles")
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	var s Sample
+	for _, v := range []int{9, 1, 5, 3, 7} {
+		s.Add(ms(v))
+	}
+	if s.Percentile(50) != ms(5) {
+		t.Fatalf("p50 = %v", s.Percentile(50))
+	}
+	// Percentile must not mutate insertion order semantics.
+	if s.Min() != ms(1) || s.Max() != ms(9) {
+		t.Fatal("min/max after percentile")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	s.Add(ms(2))
+	s.Add(ms(4))
+	if got := s.Stddev(); got != ms(1) {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(ms(1))
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatalf("string = %q", s.String())
+	}
+}
+
+func TestMicros(t *testing.T) {
+	if Micros(85*time.Microsecond) != "85" {
+		t.Fatalf("Micros = %q", Micros(85*time.Microsecond))
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(0) != 0 {
+		t.Fatal("rate of zero")
+	}
+	if got := Rate(170 * time.Microsecond); got < 5880 || got > 5884 {
+		t.Fatalf("rate = %.1f", got)
+	}
+}
+
+// Property: mean lies within [min, max]; percentiles are monotone.
+func TestQuickSampleInvariants(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range vals {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		if s.Mean() < s.Min() || s.Mean() > s.Max() {
+			return false
+		}
+		prev := time.Duration(-1)
+		for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Package trace records timestamped event timelines, used to regenerate
+// the paper's Figure 4 (the round-trip execution breakdown).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one point on a timeline.
+type Event struct {
+	At    time.Duration // offset from the timeline origin
+	Host  string        // which host the event happened on
+	Label string        // e.g. "SEND()", "POSTSEND DONE"
+}
+
+// Timeline is an append-only list of events.
+type Timeline struct {
+	events []Event
+}
+
+// Add records an event.
+func (tl *Timeline) Add(at time.Duration, host, label string) {
+	tl.events = append(tl.events, Event{At: at, Host: host, Label: label})
+}
+
+// Events returns the events sorted by time (stable for equal times).
+func (tl *Timeline) Events() []Event {
+	out := append([]Event(nil), tl.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (tl *Timeline) Len() int { return len(tl.events) }
+
+// Render draws the timeline as two labelled columns (the paper's Figure 4
+// layout: receiver left, sender right), one row per event.
+func (tl *Timeline) Render(leftHost, rightHost string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-28s %-28s\n", "µs", leftHost, rightHost)
+	for _, e := range tl.Events() {
+		l, r := "", ""
+		switch e.Host {
+		case leftHost:
+			l = e.Label
+		case rightHost:
+			r = e.Label
+		default:
+			l = e.Host + ": " + e.Label
+		}
+		fmt.Fprintf(&b, "%10.0f  %-28s %-28s\n",
+			float64(e.At)/float64(time.Microsecond), l, r)
+	}
+	return b.String()
+}

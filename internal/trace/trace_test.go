@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func us(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+func TestEventsSorted(t *testing.T) {
+	var tl Timeline
+	tl.Add(us(30), "a", "third")
+	tl.Add(us(10), "b", "first")
+	tl.Add(us(20), "a", "second")
+	ev := tl.Events()
+	if len(ev) != 3 || ev[0].Label != "first" || ev[1].Label != "second" || ev[2].Label != "third" {
+		t.Fatalf("events = %v", ev)
+	}
+	if tl.Len() != 3 {
+		t.Fatalf("len = %d", tl.Len())
+	}
+}
+
+func TestStableForEqualTimes(t *testing.T) {
+	var tl Timeline
+	tl.Add(us(5), "h", "A")
+	tl.Add(us(5), "h", "B")
+	ev := tl.Events()
+	if ev[0].Label != "A" || ev[1].Label != "B" {
+		t.Fatal("equal-time events reordered")
+	}
+}
+
+func TestRenderColumns(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, "client", "SEND()")
+	tl.Add(us(88), "server", "DELIVER()")
+	tl.Add(us(100), "other", "X")
+	out := tl.Render("server", "client")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "SEND()") || strings.Index(lines[1], "SEND()") < 12 {
+		t.Fatalf("client column: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "DELIVER()") {
+		t.Fatalf("server column: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "other: X") {
+		t.Fatalf("unknown host row: %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "88") {
+		t.Fatalf("missing µs column: %q", lines[2])
+	}
+}

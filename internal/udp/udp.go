@@ -1,0 +1,122 @@
+// Package udp adapts real UDP sockets to the same unreliable datagram
+// contract as package netsim, so the Protocol Accelerator can run between
+// OS processes (cmd/paping). UDP is the closest commodity stand-in for the
+// paper's U-Net interface: message-oriented, unreliable, unordered.
+package udp
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("udp: transport closed")
+
+// MaxDatagram is the largest datagram Send accepts; beyond this, the
+// protocol stack's fragmentation layer must have split the message.
+const MaxDatagram = 60000
+
+// Transport is an unreliable datagram endpoint over a UDP socket. Its
+// Send/SetHandler/LocalAddr/Close surface mirrors netsim.Endpoint, keyed
+// by string addresses in host:port form.
+type Transport struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	handler func(src string, datagram []byte)
+	peers   map[string]*net.UDPAddr
+	closed  bool
+	done    chan struct{}
+}
+
+// Listen opens a UDP socket on addr ("127.0.0.1:0" for an ephemeral port)
+// and starts the receive loop.
+func Listen(addr string) (*Transport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		conn:  conn,
+		peers: make(map[string]*net.UDPAddr),
+		done:  make(chan struct{}),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+// LocalAddr returns the bound address in host:port form.
+func (t *Transport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// SetHandler installs the receive callback. It runs on the transport's
+// receive goroutine and owns the datagram slice.
+func (t *Transport) SetHandler(h func(src string, datagram []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Send transmits one datagram to dst (host:port). Destination addresses
+// are resolved once and cached.
+func (t *Transport) Send(dst string, datagram []byte) error {
+	if len(datagram) > MaxDatagram {
+		return errors.New("udp: datagram too large")
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	ua := t.peers[dst]
+	t.mu.Unlock()
+	if ua == nil {
+		resolved, err := net.ResolveUDPAddr("udp", dst)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.peers[dst] = resolved
+		t.mu.Unlock()
+		ua = resolved
+	}
+	_, err := t.conn.WriteToUDP(datagram, ua)
+	return err
+}
+
+// Close shuts the socket down and stops the receive loop.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.done
+	return err
+}
+
+func (t *Transport) readLoop() {
+	defer close(t.done)
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			h(src.String(), data)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T) (*Transport, *Transport) {
+	t.Helper()
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestSendReceive(t *testing.T) {
+	a, b := pair(t)
+	got := make(chan []byte, 1)
+	b.SetHandler(func(src string, data []byte) { got <- data })
+	if err := a.Send(b.LocalAddr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		if !bytes.Equal(d, []byte("hello")) {
+			t.Fatalf("got %q", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := pair(t)
+	b.SetHandler(func(src string, data []byte) {
+		if err := b.Send(src, append(data, '!')); err != nil {
+			t.Error(err)
+		}
+	})
+	got := make(chan []byte, 1)
+	a.SetHandler(func(src string, data []byte) { got <- data })
+	if err := a.Send(b.LocalAddr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		if !bytes.Equal(d, []byte("ping!")) {
+			t.Fatalf("got %q", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestSrcAddrIsSendable(t *testing.T) {
+	a, b := pair(t)
+	srcCh := make(chan string, 1)
+	b.SetHandler(func(src string, data []byte) { srcCh <- src })
+	if err := a.Send(b.LocalAddr(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case src := <-srcCh:
+		if src != a.LocalAddr() {
+			t.Fatalf("src = %q, want %q", src, a.LocalAddr())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestClose(t *testing.T) {
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close errored:", err)
+	}
+	if err := a.Send("127.0.0.1:9", []byte("x")); err != ErrClosed {
+		t.Fatalf("Send after close = %v", err)
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	a, b := pair(t)
+	if err := a.Send(b.LocalAddr(), make([]byte, MaxDatagram+1)); err == nil {
+		t.Fatal("oversized accepted")
+	}
+}
+
+func TestBadAddress(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Send("not-an-address::::", []byte("x")); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

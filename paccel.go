@@ -1,0 +1,225 @@
+// Package paccel is a Go implementation of the Protocol Accelerator from
+// Robbert van Renesse, "Masking the Overhead of Protocol Layering"
+// (SIGCOMM 1996) — the engine that made a four-layer Horus protocol stack
+// written in O'Caml do 170 µs round trips over ATM.
+//
+// Layered protocol stacks pay two taxes: per-layer padded headers carrying
+// large immutable addresses on every message, and a walk through every
+// layer on the send and delivery critical paths. The Protocol Accelerator
+// masks both:
+//
+//   - header fields are registered by class (connection identification,
+//     protocol-specific, message-specific, gossip) and compiled into
+//     compact cross-layer headers (internal/header);
+//   - the large connection identification is replaced on the wire by a
+//     62-bit random cookie in an 8-byte preamble (internal/core);
+//   - protocol-specific headers are predicted from protocol state, so a
+//     send or delivery usually touches no layer code at all;
+//   - message-specific fields (length, checksum, timestamp) are filled in
+//     and verified by small validated packet-filter programs that run in
+//     both critical paths (internal/filter);
+//   - protocol state updates are split off as post-processing and run
+//     lazily, off the critical path (internal/stack);
+//   - backlogs are packed: many application messages share one protocol
+//     message and one pre/post cycle (§3.4).
+//
+// The package surface re-exports the engine (internal/core), the
+// micro-layers (internal/layers), and the transports. A minimal echo
+// client:
+//
+//	net := paccel.NewSimNetwork(paccel.SimConfig{})
+//	ep, _ := paccel.NewEndpoint(paccel.Config{Transport: net.Endpoint("A")})
+//	conn, _ := ep.Dial(paccel.PeerSpec{
+//		Addr: "B", LocalID: []byte("client"), RemoteID: []byte("server"),
+//	})
+//	conn.OnDeliver(func(p []byte) { fmt.Printf("got %q\n", p) })
+//	conn.Send([]byte("hello"))
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package paccel
+
+import (
+	"time"
+
+	"paccel/internal/bits"
+	"paccel/internal/core"
+	"paccel/internal/group"
+	"paccel/internal/layers"
+	"paccel/internal/netsim"
+	"paccel/internal/rpc"
+	"paccel/internal/stack"
+	"paccel/internal/udp"
+	"paccel/internal/vclock"
+)
+
+// Core engine types.
+type (
+	// Config configures an Endpoint; see core.Config.
+	Config = core.Config
+	// Endpoint owns a transport and routes datagrams to connections.
+	Endpoint = core.Endpoint
+	// Conn is one accelerated connection.
+	Conn = core.Conn
+	// ConnStats are the per-connection counters (fast/slow path hits,
+	// packing, retransmissions).
+	ConnStats = core.ConnStats
+	// PeerSpec identifies a connection's two ends.
+	PeerSpec = core.PeerSpec
+	// Transport is the unreliable datagram contract (U-Net-like).
+	Transport = core.Transport
+	// StackBuilder constructs a connection's protocol stack.
+	StackBuilder = core.StackBuilder
+	// IdentInfo is a parsed incoming connection identification.
+	IdentInfo = layers.IdentInfo
+)
+
+// Simulated network types.
+type (
+	// SimConfig configures the in-memory network (latency, loss,
+	// reordering, duplication, bit rate).
+	SimConfig = netsim.Config
+	// SimNetwork is the in-memory unreliable datagram network.
+	SimNetwork = netsim.Network
+)
+
+// Errors surfaced by connections.
+var (
+	// ErrBacklogFull reports send backpressure: the window is closed
+	// and the backlog is at capacity. Retry after a pause.
+	ErrBacklogFull = core.ErrBacklogFull
+	// ErrConnClosed reports operations on a closed connection.
+	ErrConnClosed = core.ErrConnClosed
+)
+
+// NewEndpoint attaches a Protocol Accelerator endpoint to a transport.
+func NewEndpoint(cfg Config) (*Endpoint, error) { return core.NewEndpoint(cfg) }
+
+// DefaultStack is the paper's four-layer configuration: checksum,
+// fragmentation, 16-entry sliding window, connection identification.
+var DefaultStack StackBuilder = core.DefaultStack
+
+// NewSimNetwork creates an in-memory network on the real clock. For a
+// deterministic virtual-time network, use netsim.New with vclock.NewManual
+// directly (see the tests for examples).
+func NewSimNetwork(cfg SimConfig) *SimNetwork {
+	return netsim.New(vclock.Real{}, cfg)
+}
+
+// ListenUDP opens a UDP transport, for accelerated connections between
+// real processes (see cmd/paping).
+func ListenUDP(addr string) (*udp.Transport, error) { return udp.Listen(addr) }
+
+// PaperSimConfig returns the simulated network matching the paper's
+// testbed: 35 µs one-way latency on 140 Mbit/s ATM.
+func PaperSimConfig() SimConfig { return netsim.PaperConfig() }
+
+// Group communication (the paper's multicast extension; see
+// internal/group): reliable FIFO or totally-ordered multicast built from
+// accelerated point-to-point connections.
+type (
+	// Group is one member's view of a process group.
+	Group = group.Group
+	// GroupMesh is a fully connected test/demo fabric of members.
+	GroupMesh = group.Mesh
+	// GroupOrder selects FIFO or Total delivery order.
+	GroupOrder = group.Order
+)
+
+// Group delivery orders.
+const (
+	// GroupFIFO delivers each sender's messages in its send order.
+	GroupFIFO = group.FIFO
+	// GroupTotal delivers one identical global order at every member.
+	GroupTotal = group.Total
+)
+
+// NewGroup creates one member's group view; Join peers' connections to it.
+func NewGroup(self string, order GroupOrder, sequencer string) *Group {
+	return group.New(self, order, sequencer)
+}
+
+// NewGroupMesh builds a full mesh of accelerated connections between the
+// named members over an in-memory network on the real clock.
+func NewGroupMesh(names []string, cfg SimConfig, order GroupOrder, sequencer string) (*GroupMesh, error) {
+	return group.NewRealMesh(names, cfg, order, sequencer)
+}
+
+// RPC surface (see internal/rpc): correlated request/response calls over
+// one accelerated connection — the §6 workload.
+type (
+	// RPCClient issues concurrent calls over a connection.
+	RPCClient = rpc.Client
+	// RPCHandler computes a response from a request.
+	RPCHandler = rpc.Handler
+)
+
+// NewRPCClient wraps a connection for request/response calls.
+func NewRPCClient(conn *Conn) *RPCClient { return rpc.NewClient(conn) }
+
+// ServeRPC answers every request arriving on a server-side connection.
+func ServeRPC(conn *Conn, h RPCHandler) { rpc.Serve(conn, h) }
+
+// StackOptions parameterizes BuildStack, the configurable variant of
+// DefaultStack. The zero value reproduces the paper's four-layer stack.
+type StackOptions struct {
+	// WindowSize overrides the 16-entry window.
+	WindowSize int
+	// FragThreshold overrides the fragmentation payload limit.
+	FragThreshold int
+	// AdaptiveRTO enables Jacobson/Karels retransmission-timeout
+	// estimation in the window layer.
+	AdaptiveRTO bool
+	// Heartbeat adds a keepalive layer with this interval.
+	Heartbeat time.Duration
+	// OnSilence receives peer-silence reports (requires Heartbeat).
+	OnSilence func(peer []byte, quiet time.Duration)
+	// Stamp adds the message-timestamp layer and reports one-way
+	// latency samples.
+	Stamp func(oneWay time.Duration)
+	// DoubleWindow stacks the window layer twice (the §5 experiment).
+	DoubleWindow bool
+}
+
+// BuildStack returns a StackBuilder assembling the paper's stack with the
+// given options.
+func BuildStack(opts StackOptions) StackBuilder {
+	return func(spec PeerSpec, order bits.ByteOrder) ([]stack.Layer, error) {
+		var ls []stack.Layer
+		if opts.Stamp != nil {
+			st := layers.NewStamp()
+			st.OnSample = opts.Stamp
+			ls = append(ls, st)
+		}
+		ls = append(ls, layers.NewChksum())
+		frag := layers.NewFrag()
+		if opts.FragThreshold > 0 {
+			frag.Threshold = opts.FragThreshold
+		}
+		ls = append(ls, frag)
+		w := layers.NewWindow()
+		w.Size = opts.WindowSize
+		w.AdaptiveRTO = opts.AdaptiveRTO
+		ls = append(ls, w)
+		if opts.DoubleWindow {
+			w2 := layers.NewWindow()
+			w2.Size = opts.WindowSize
+			ls = append(ls, w2)
+		}
+		if opts.Heartbeat > 0 {
+			hb := layers.NewHeartbeat()
+			hb.Interval = opts.Heartbeat
+			if opts.OnSilence != nil {
+				peer := append([]byte(nil), spec.RemoteID...)
+				hb.OnSilence = func(d time.Duration) { opts.OnSilence(peer, d) }
+			}
+			ls = append(ls, hb)
+		}
+		ls = append(ls, &layers.Ident{
+			Local: spec.LocalID, Remote: spec.RemoteID,
+			LocalPort: spec.LocalPort, RemotePort: spec.RemotePort,
+			Epoch: spec.Epoch, Order: order,
+		})
+		return ls, nil
+	}
+}
