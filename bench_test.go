@@ -346,6 +346,58 @@ func BenchmarkMultiClientServer(b *testing.B) {
 
 var rrCounter atomic.Int64
 
+// BenchmarkEndpointParallelRecv measures the router under concurrent
+// receives across 8 connections: "sharded" is the production cookie
+// router, "single-lock" the pre-sharding ablation
+// (core.Config.SingleLockRouter). Run with GOMAXPROCS ≥ 8 to see the
+// contention difference.
+func BenchmarkEndpointParallelRecv(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) {
+		experiments.BenchParallelRecv(b, experiments.ParallelRecvConns, false)
+	})
+	b.Run("single-lock", func(b *testing.B) {
+		experiments.BenchParallelRecv(b, experiments.ParallelRecvConns, true)
+	})
+}
+
+// BenchmarkFastSendAllocs measures the accelerated send critical path
+// (lean checksum+frag+ident stack, instantaneous network) — the far
+// side's delivery runs inside the same call, so 0 allocs/op means the
+// whole send+deliver chain is allocation-free.
+func BenchmarkFastSendAllocs(b *testing.B) {
+	p, err := experiments.NewPair(experiments.PairOptions{Build: experiments.LeanStack})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.B.OnDeliver(func([]byte) {})
+	payload := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.A.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastDeliverAllocs measures the routed delivery critical path
+// alone: a captured cookie-only frame replayed into the endpoint's
+// receive handler (router lookup, packet filter, fast-path delivery,
+// application callback).
+func BenchmarkFastDeliverAllocs(b *testing.B) {
+	h, err := experiments.NewRecvHarness(1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Deliver(0)
+	}
+}
+
 // BenchmarkRPC measures one correlated request/response call over an
 // accelerated connection (the §6 workload, via the rpc package).
 func BenchmarkRPC(b *testing.B) {

@@ -10,7 +10,14 @@
 //
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline] [-quick] [-sim-only]
+// The concurrency experiment (not in the paper — the reproduction's own
+// multi-core scaling baseline) measures the sharded router against the
+// single-lock ablation and the fast-path allocation counts; -json writes
+// its machine-readable baseline (BENCH_1.json).
+//
+// Usage:
+//
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency] [-quick] [-sim-only] [-json file]
 package main
 
 import (
@@ -22,10 +29,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
+	jsonPath := flag.String("json", "", "with -exp concurrency: also write the machine-readable baseline to this file")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -88,10 +96,29 @@ func main() {
 		any = true
 		fmt.Println(experiments.Hiccups())
 	}
+	if run("concurrency") {
+		any = true
+		if *simOnly {
+			fmt.Println("concurrency: skipped (real-hardware measurement only)")
+		} else {
+			concurrency(*quick, *jsonPath)
+		}
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+func concurrency(quick bool, jsonPath string) {
+	res, err := experiments.Concurrency(quick)
+		fail(err)
+	fmt.Println(experiments.ConcurrencyReport(res))
+	if jsonPath != "" {
+		out, err := experiments.ConcurrencyJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}
 }
 

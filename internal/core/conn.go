@@ -25,6 +25,30 @@ var (
 	ErrSendFailed  = errors.New("core: send rejected by packet filter")
 )
 
+// postKind discriminates the deferred post-processing operations. The
+// queue used to hold closures; a typed queue keeps the fast paths free of
+// per-message closure allocations.
+type postKind uint8
+
+const (
+	postSend         postKind = iota // stack.PostSend, then free m
+	postDeliver                      // stack.PostDeliver[Above], then free m
+	postDeliverBelow                 // stack.PostDeliverBelow at index `at`
+	postFn                           // a layer-deferred action (Services.Defer)
+)
+
+// postOp is one queued post-processing step (§3.1). m and env are owned
+// by the op until it runs; env returns to the connection's pool after.
+type postOp struct {
+	kind postKind
+	m    *message.Msg
+	env  *filter.Env
+	from stack.Layer // postDeliver: re-enter above this layer (nil: full stack)
+	at   int         // postDeliverBelow: layer index
+	free bool        // postDeliverBelow: free m afterwards (dropped messages)
+	fn   func()      // postFn
+}
+
 // sideState is the per-direction PA state of Table 3: operation mode, the
 // predicted headers, the prediction disable counter, the packet filter,
 // and (send side) the backlog of messages awaiting processing.
@@ -35,7 +59,27 @@ type sideState struct {
 	prog    *filter.Program
 	comp    *filter.Compiled
 	backlog []*message.Msg
-	pending []func() // deferred post-processing, FIFO
+
+	// pending is the FIFO of deferred post-processing; head indexes the
+	// next op so the slice's capacity is reused instead of re-sliced
+	// away (the queue is on the per-message path).
+	pending []postOp
+	head    int
+}
+
+func (s *sideState) pendingLen() int { return len(s.pending) - s.head }
+
+func (s *sideState) pushPost(op postOp) { s.pending = append(s.pending, op) }
+
+func (s *sideState) popPost() postOp {
+	op := s.pending[s.head]
+	s.pending[s.head] = postOp{} // drop references for the pool/GC
+	s.head++
+	if s.head == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.head = 0
+	}
+	return op
 }
 
 // runFilter executes the side's packet filter, compiled if available.
@@ -56,6 +100,14 @@ type appOut struct {
 
 // Conn is one Protocol Accelerator: the engine of the paper's Figure 3,
 // instantiated per connection.
+//
+// Buffer ownership on the critical paths (see DESIGN.md "Zero-allocation
+// fast paths"): wire images queued for transmission live in pooled tx
+// buffers (txFree) that return to the pool once the transport's Send
+// call returns; filter environments and stack contexts are pooled per
+// connection and recycled when the post-processing op that owns them has
+// run; application payloads are copied into appBuf, whose capacity is
+// retained across deliveries.
 type Conn struct {
 	ep   *Endpoint
 	spec PeerSpec
@@ -72,15 +124,32 @@ type Conn struct {
 	outCookie  uint64
 	needConnID bool // next outgoing message carries the identification
 
+	// inCookies are the incoming cookies routed to this connection in
+	// the endpoint's sharded router; guarded by ep.routeMu, not c.mu.
+	inCookies []uint64
+
 	send sideState
 	recv sideState
 
-	deliverQ []releaseItem
-	appQ     []appOut
-	appBuf   []byte // scratch backing the queued payload copies
+	deliverQ  []releaseItem
+	appQ      []appOut
+	appQSpare []appOut // recycled appQ capacity
+	appBuf    []byte   // scratch backing the queued payload copies
 
-	txq    [][]byte
-	txBusy atomic.Bool
+	txq       [][]byte // wire images awaiting flushTx, pooled buffers
+	txqSpare  [][]byte // recycled txq capacity
+	txFree    [][]byte // transmit buffer pool
+	txBusy    atomic.Bool
+	txPending atomic.Int64 // queued wire images; flushTx's lock-free fast exit
+
+	envFree     []*filter.Env   // filter environment pool
+	ctxFree     []*stack.Context // phase context pool
+	packScratch []byte           // packing header encode scratch
+	sizeScratch []int            // packed sub-size scratch
+
+	// usesTime caches whether any filter program consumes Env.Time, so
+	// the fast paths skip the per-message clock read otherwise.
+	usesTime bool
 
 	onDeliver func(payload []byte)
 	closed    bool
@@ -135,6 +204,7 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 		c.send.comp = c.send.prog.Compile()
 		c.recv.comp = c.recv.prog.Compile()
 	}
+	c.usesTime = c.send.prog.UsesTime() || c.recv.prog.UsesTime()
 	c.protoN = c.schema.Size(header.ProtoSpec)
 	c.msgN = c.schema.Size(header.MsgSpec)
 	c.gosN = c.schema.Size(header.Gossip)
@@ -155,6 +225,7 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 
 	ctx := c.ctx(nil)
 	st.Prime(ctx)
+	c.putCtx(ctx)
 
 	if ep.cfg.LazyPost && ep.cfg.IdleDrain {
 		c.idleCh = make(chan struct{}, 1)
@@ -184,7 +255,7 @@ func (c *Conn) idleDrainer() {
 // wakeIdle nudges the background drainer if one exists and work is
 // pending. Caller holds c.mu.
 func (c *Conn) wakeIdle() {
-	if c.idleCh == nil || (len(c.recv.pending) == 0 && len(c.send.pending) == 0) {
+	if c.idleCh == nil || (c.recv.pendingLen() == 0 && c.send.pendingLen() == 0) {
 		return
 	}
 	select {
@@ -194,14 +265,76 @@ func (c *Conn) wakeIdle() {
 }
 
 // ctx builds a phase context around the (possibly nil) message env.
+// Contexts are pooled: callers putCtx them back when the phase call
+// returns. A layer must not retain a Context past the phase call (the
+// stable fields — Order, the prediction buffers, S — may be copied out,
+// as Prime already does).
 func (c *Conn) ctx(env *filter.Env) *stack.Context {
-	return &stack.Context{
-		Env:         env,
-		Order:       c.order,
-		PredictSend: c.send.predict,
-		PredictRecv: c.recv.predict,
-		S:           c,
+	var x *stack.Context
+	if n := len(c.ctxFree); n > 0 {
+		x = c.ctxFree[n-1]
+		c.ctxFree = c.ctxFree[:n-1]
+	} else {
+		x = &stack.Context{
+			Order:       c.order,
+			PredictSend: c.send.predict,
+			PredictRecv: c.recv.predict,
+			S:           c,
+		}
 	}
+	x.Env = env
+	return x
+}
+
+func (c *Conn) putCtx(x *stack.Context) {
+	x.Env = nil
+	if len(c.ctxFree) < 16 {
+		c.ctxFree = append(c.ctxFree, x)
+	}
+}
+
+// getEnv returns a cleared filter environment from the connection pool.
+func (c *Conn) getEnv() *filter.Env {
+	if n := len(c.envFree); n > 0 {
+		e := c.envFree[n-1]
+		c.envFree = c.envFree[:n-1]
+		return e
+	}
+	return &filter.Env{}
+}
+
+// putEnv recycles an environment once no queued op references it.
+func (c *Conn) putEnv(e *filter.Env) {
+	if e == nil {
+		return
+	}
+	*e = filter.Env{}
+	if len(c.envFree) < 64 {
+		c.envFree = append(c.envFree, e)
+	}
+}
+
+// takeTxBuf returns a transmit buffer of length n from the pool.
+func (c *Conn) takeTxBuf(n int) []byte {
+	for k := len(c.txFree); k > 0; k = len(c.txFree) {
+		b := c.txFree[k-1]
+		c.txFree = c.txFree[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Undersized leftover from before a larger message size; drop
+		// it and keep looking.
+	}
+	return make([]byte, n)
+}
+
+// putTxBuf returns a transmit buffer to the pool, bounding both the pool
+// size and the largest buffer kept.
+func (c *Conn) putTxBuf(b []byte) {
+	if cap(b) > 64<<10 || len(c.txFree) >= 64 {
+		return
+	}
+	c.txFree = append(c.txFree, b[:0])
 }
 
 // Spec returns the connection's peer specification.
@@ -274,7 +407,12 @@ func (c *Conn) sendMsg(m *message.Msg, sizes []int) error {
 
 	// Push the packing header and the class header regions (wire order:
 	// proto, msg, gossip, packing — push reversed).
-	m.PushBytes(encodePacking(nil, sizes))
+	if len(sizes) <= 1 {
+		m.Push(1)[0] = packSingle
+	} else {
+		c.packScratch = encodePacking(c.packScratch[:0], sizes)
+		m.PushBytes(c.packScratch)
+	}
 	gos := m.Push(c.gosN)
 	msgRegion := m.Push(c.msgN)
 	proto := m.Push(c.protoN)
@@ -285,7 +423,10 @@ func (c *Conn) sendMsg(m *message.Msg, sizes []int) error {
 	copy(msgRegion, c.send.predict[header.MsgSpec])
 	copy(gos, c.send.predict[header.Gossip])
 
-	env := &filter.Env{Payload: m.Payload(), Order: c.order, Time: c.nowMicros()}
+	env := c.getEnv()
+	env.Payload = m.Payload()
+	env.Order = c.order
+	env.Time = c.envTime()
 	env.Hdr[header.ProtoSpec] = proto
 	env.Hdr[header.MsgSpec] = msgRegion
 	env.Hdr[header.Gossip] = gos
@@ -298,6 +439,7 @@ func (c *Conn) sendMsg(m *message.Msg, sizes []int) error {
 		return nil
 	case status == filter.StatusDrop || status == filter.StatusFault:
 		m.Free()
+		c.putEnv(env)
 		c.stats.SendErrors++
 		return fmt.Errorf("%w (status %d)", ErrSendFailed, status)
 	default:
@@ -313,6 +455,7 @@ func (c *Conn) sendSlow(m *message.Msg, env *filter.Env) error {
 	clear(env.Hdr[header.Gossip])
 	ctx := c.ctx(env)
 	v, _ := c.st.PreSend(ctx, m)
+	c.putCtx(ctx)
 	switch v {
 	case stack.Continue:
 		c.transmit(m)
@@ -323,22 +466,20 @@ func (c *Conn) sendSlow(m *message.Msg, env *filter.Env) error {
 		// A layer took over (fragmentation); the original is done.
 		c.stats.SlowSends++
 		m.Free()
+		c.putEnv(env)
 		return nil
 	default:
 		m.Free()
+		c.putEnv(env)
 		c.stats.SendErrors++
 		return ErrSendFailed
 	}
 }
 
-// queuePostSend schedules the send post-processing (§3.1, lazily).
+// queuePostSend schedules the send post-processing (§3.1, lazily). The op
+// owns m and env until it runs.
 func (c *Conn) queuePostSend(m *message.Msg, env *filter.Env) {
-	c.send.pending = append(c.send.pending, func() {
-		c.send.mode = Post
-		c.st.PostSend(c.ctx(env), m)
-		c.send.mode = Idle
-		m.Free()
-	})
+	c.send.pushPost(postOp{kind: postSend, m: m, env: env})
 }
 
 // transmit prepends the preamble (and connection identification when due)
@@ -359,7 +500,11 @@ func (c *Conn) transmitAs(m *message.Msg, withCID bool) {
 	}
 	pre := Preamble{ConnIDPresent: withCID, Order: c.order, Cookie: c.outCookie}
 	pre.EncodeTo(m.Push(PreambleSize))
-	c.txq = append(c.txq, append([]byte(nil), m.Bytes()...))
+	wire := m.Bytes()
+	buf := c.takeTxBuf(len(wire))
+	copy(buf, wire)
+	c.txq = append(c.txq, buf)
+	c.txPending.Add(1)
 	if _, err := m.Pop(PreambleSize); err != nil {
 		panic("core: preamble pop: " + err.Error())
 	}
@@ -372,27 +517,54 @@ func (c *Conn) transmitAs(m *message.Msg, withCID bool) {
 
 // flushTx drains the transmit queue outside the connection lock. It is
 // reentrancy-safe: a nested call (synchronous transport delivering a
-// reply) just leaves its datagrams for the active flusher.
+// reply) just leaves its datagrams for the active flusher. Sent buffers
+// return to the connection's transmit pool.
 func (c *Conn) flushTx() {
 	for {
+		// Lock-free exit for the common delivery that transmitted
+		// nothing: the counter is only incremented under c.mu before the
+		// enqueuer itself calls flushTx, so a zero read here means this
+		// caller has no datagrams of its own waiting.
+		if c.txPending.Load() == 0 {
+			return
+		}
 		if !c.txBusy.CompareAndSwap(false, true) {
 			return
 		}
 		for {
 			c.mu.Lock()
-			q := c.txq
-			c.txq = nil
-			c.mu.Unlock()
-			if len(q) == 0 {
+			if len(c.txq) == 0 {
+				c.mu.Unlock()
 				break
 			}
+			q := c.txq
+			// Swap in the recycled queue slice so nested transmits
+			// (a synchronous transport delivering a reply that sends)
+			// append without reallocating.
+			c.txq = c.txqSpare
+			c.txqSpare = nil
+			c.txPending.Add(int64(-len(q)))
+			c.mu.Unlock()
+			sendErrs := 0
 			for _, d := range q {
 				if err := c.ep.cfg.Transport.Send(c.spec.Addr, d); err != nil {
-					c.mu.Lock()
-					c.stats.SendErrors++
-					c.mu.Unlock()
+					sendErrs++
 				}
 			}
+			c.mu.Lock()
+			if sendErrs > 0 {
+				c.stats.SendErrors += uint64(sendErrs)
+			}
+			for i := range q {
+				c.putTxBuf(q[i])
+				q[i] = nil
+			}
+			if c.txq == nil {
+				c.txq = q[:0]
+			} else {
+				c.txqSpare = q[:0]
+			}
+			c.mu.Unlock()
 		}
 		c.txBusy.Store(false)
 		c.mu.Lock()
@@ -428,6 +600,7 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 		// The delivery filter checks message-specific correctness;
 		// failures drop the message (checksum mismatch).
 		c.stats.Dropped++
+		c.putEnv(env)
 		c.mu.Unlock()
 		m.Free()
 		return
@@ -446,6 +619,7 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 		c.recv.mode = Pre
 		ctx := c.ctx(env)
 		v, at := c.st.PreDeliver(ctx, m)
+		c.putCtx(ctx)
 		c.recv.mode = Idle
 		switch v {
 		case stack.Continue:
@@ -468,7 +642,8 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 
 // acceptDelivery queues the message's application payload(s) — unpacking
 // if packed (§3.4) — and schedules the delivery post-processing. from is
-// non-nil when re-entering above a releasing layer.
+// non-nil when re-entering above a releasing layer. The queued op owns m
+// and env.
 func (c *Conn) acceptDelivery(m *message.Msg, env *filter.Env, sizes []int, from stack.Layer) {
 	if sizes == nil {
 		c.queueApp(env.Payload)
@@ -480,30 +655,14 @@ func (c *Conn) acceptDelivery(m *message.Msg, env *filter.Env, sizes []int, from
 		}
 		c.stats.PackedMsgs += uint64(len(sizes))
 	}
-	c.recv.pending = append(c.recv.pending, func() {
-		c.recv.mode = Post
-		if from == nil {
-			c.st.PostDeliver(c.ctx(env), m)
-		} else {
-			c.st.PostDeliverAbove(c.ctx(env), m, from)
-		}
-		c.recv.mode = Idle
-		m.Free()
-	})
+	c.recv.pushPost(postOp{kind: postDeliver, m: m, env: env, from: from})
 }
 
 // queuePostDeliverBelow schedules post-processing of the layers below the
 // layer that issued a Consume or Drop verdict. For dropped messages the
 // engine still owns m and frees it afterwards.
 func (c *Conn) queuePostDeliverBelow(m *message.Msg, env *filter.Env, at int, freeAfter bool) {
-	c.recv.pending = append(c.recv.pending, func() {
-		c.recv.mode = Post
-		c.st.PostDeliverBelow(c.ctx(env), m, at)
-		c.recv.mode = Idle
-		if freeAfter {
-			m.Free()
-		}
-	})
+	c.recv.pushPost(postOp{kind: postDeliverBelow, m: m, env: env, at: at, free: freeAfter})
 }
 
 // queueApp copies one application payload into the scratch buffer and
@@ -516,26 +675,31 @@ func (c *Conn) queueApp(payload []byte) {
 }
 
 // parseWire computes the header region views of a received message without
-// consuming it (buffered messages are re-parsed at release time).
+// consuming it (buffered messages are re-parsed at release time). The
+// returned env comes from the connection pool; on error it has already
+// been recycled.
 func (c *Conn) parseWire(m *message.Msg, cid []byte, order bits.ByteOrder) (*filter.Env, []int, error) {
 	b := m.Bytes()
 	fixed := c.protoN + c.msgN + c.gosN
 	if len(b) < fixed+1 {
 		return nil, nil, fmt.Errorf("core: short message: %d bytes", len(b))
 	}
-	env := &filter.Env{Order: order, Time: c.nowMicros()}
-	env.Hdr[header.ConnID] = cid
-	env.Hdr[header.ProtoSpec] = b[:c.protoN]
-	env.Hdr[header.MsgSpec] = b[c.protoN : c.protoN+c.msgN]
-	env.Hdr[header.Gossip] = b[c.protoN+c.msgN : fixed]
 	sizes, pkLen, err := decodePacking(b[fixed:])
 	if err != nil {
 		return nil, nil, err
 	}
-	env.Payload = b[fixed+pkLen:]
-	if err := checkPackedSizes(sizes, len(env.Payload)); err != nil {
+	payload := b[fixed+pkLen:]
+	if err := checkPackedSizes(sizes, len(payload)); err != nil {
 		return nil, nil, err
 	}
+	env := c.getEnv()
+	env.Order = order
+	env.Time = c.envTime()
+	env.Hdr[header.ConnID] = cid
+	env.Hdr[header.ProtoSpec] = b[:c.protoN]
+	env.Hdr[header.MsgSpec] = b[c.protoN : c.protoN+c.msgN]
+	env.Hdr[header.Gossip] = b[c.protoN+c.msgN : fixed]
+	env.Payload = payload
 	return env, sizes, nil
 }
 
@@ -553,7 +717,8 @@ func (c *Conn) settle() {
 		switch {
 		case len(c.appQ) > 0:
 			q := c.appQ
-			c.appQ = nil
+			c.appQ = c.appQSpare
+			c.appQSpare = nil
 			buf := c.appBuf // views stay valid even if appBuf reallocates
 			cb := c.onDeliver
 			c.mu.Unlock()
@@ -563,6 +728,11 @@ func (c *Conn) settle() {
 				}
 			}
 			c.mu.Lock()
+			if c.appQ == nil {
+				c.appQ = q[:0]
+			} else if c.appQSpare == nil {
+				c.appQSpare = q[:0]
+			}
 		case len(c.deliverQ) > 0:
 			item := c.deliverQ[0]
 			c.deliverQ = c.deliverQ[1:]
@@ -571,9 +741,9 @@ func (c *Conn) settle() {
 			} else {
 				c.release(item)
 			}
-		case !c.ep.cfg.LazyPost && len(c.recv.pending) > 0:
+		case !c.ep.cfg.LazyPost && c.recv.pendingLen() > 0:
 			c.runOnePost(&c.recv)
-		case !c.ep.cfg.LazyPost && len(c.send.pending) > 0:
+		case !c.ep.cfg.LazyPost && c.send.pendingLen() > 0:
 			c.runOnePost(&c.send)
 		case c.send.disable == 0 && len(c.send.backlog) > 0:
 			c.kickBacklog()
@@ -601,14 +771,17 @@ func (c *Conn) release(item releaseItem) {
 	c.recv.mode = Pre
 	ctx := c.ctx(env)
 	v, _ := c.st.DeliverAbove(ctx, item.m, item.from)
+	c.putCtx(ctx)
 	c.recv.mode = Idle
 	switch v {
 	case stack.Continue:
 		c.acceptDelivery(item.m, env, sizes, item.from)
 	case stack.Consume:
 		c.stats.Consumed++
+		c.putEnv(env)
 	default:
 		c.stats.Dropped++
+		c.putEnv(env)
 		item.m.Free()
 	}
 }
@@ -623,16 +796,48 @@ func (c *Conn) releaseSynthetic(item releaseItem) {
 // drain runs a side's pending post-processing to completion (§3.1: "but
 // before the next send or delivery operation"). Caller holds c.mu.
 func (c *Conn) drain(s *sideState) {
-	for len(s.pending) > 0 {
+	for s.pendingLen() > 0 {
 		c.runOnePost(s)
 	}
 }
 
 func (c *Conn) runOnePost(s *sideState) {
-	f := s.pending[0]
-	s.pending = s.pending[1:]
+	op := s.popPost()
 	c.stats.PostRuns++
-	f()
+	switch op.kind {
+	case postSend:
+		c.send.mode = Post
+		ctx := c.ctx(op.env)
+		c.st.PostSend(ctx, op.m)
+		c.putCtx(ctx)
+		c.send.mode = Idle
+		op.m.Free()
+		c.putEnv(op.env)
+	case postDeliver:
+		c.recv.mode = Post
+		ctx := c.ctx(op.env)
+		if op.from == nil {
+			c.st.PostDeliver(ctx, op.m)
+		} else {
+			c.st.PostDeliverAbove(ctx, op.m, op.from)
+		}
+		c.putCtx(ctx)
+		c.recv.mode = Idle
+		op.m.Free()
+		c.putEnv(op.env)
+	case postDeliverBelow:
+		c.recv.mode = Post
+		ctx := c.ctx(op.env)
+		c.st.PostDeliverBelow(ctx, op.m, op.at)
+		c.putCtx(ctx)
+		c.recv.mode = Idle
+		if op.free {
+			op.m.Free()
+		}
+		c.putEnv(op.env)
+	case postFn:
+		op.fn()
+	}
 }
 
 // Flush runs all outstanding post-processing and transmissions. With
@@ -686,9 +891,9 @@ func (c *Conn) kickBacklog() {
 		_ = c.sendMsg(m, nil)
 		return
 	}
-	sizes := make([]int, n)
-	for i, m := range batch {
-		sizes[i] = m.PayloadLen()
+	c.sizeScratch = c.sizeScratch[:0]
+	for _, m := range batch {
+		c.sizeScratch = append(c.sizeScratch, m.PayloadLen())
 	}
 	packed := message.NewWithHeadroom(nil, message.DefaultHeadroom)
 	for _, m := range batch {
@@ -697,7 +902,7 @@ func (c *Conn) kickBacklog() {
 	}
 	c.stats.PackedBatches++
 	c.stats.PackedMsgs += uint64(n)
-	_ = c.sendMsg(packed, sizes)
+	_ = c.sendMsg(packed, c.sizeScratch)
 }
 
 // Close tears the connection down: timers stopped, routes removed.
@@ -720,8 +925,8 @@ func (c *Conn) Close() error {
 		m.Free()
 	}
 	c.send.backlog = nil
-	c.send.pending = nil
-	c.recv.pending = nil
+	c.send.pending, c.send.head = nil, 0
+	c.recv.pending, c.recv.head = nil, 0
 	c.mu.Unlock()
 	c.ep.removeConn(c)
 	return nil
@@ -729,6 +934,16 @@ func (c *Conn) Close() error {
 
 func (c *Conn) nowMicros() uint64 {
 	return uint64(c.ep.cfg.clock().Now().UnixNano() / int64(time.Microsecond))
+}
+
+// envTime supplies Env.Time: the clock is only read when some filter
+// program consumes the timestamp (Program.UsesTime) — a clock read per
+// message is measurable on the fast paths.
+func (c *Conn) envTime() uint64 {
+	if !c.usesTime {
+		return 0
+	}
+	return c.nowMicros()
 }
 
 // ---- stack.Services implementation (caller always holds c.mu) ----
@@ -779,11 +994,14 @@ func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlO
 	if c.closed {
 		return ErrConnClosed
 	}
-	m.PushBytes(encodePacking(nil, nil))
+	m.Push(1)[0] = packSingle
 	gos := m.Push(c.gosN)
 	msgRegion := m.Push(c.msgN)
 	proto := m.Push(c.protoN)
-	env := &filter.Env{Payload: m.Payload(), Order: c.order, Time: c.nowMicros()}
+	env := c.getEnv()
+	env.Payload = m.Payload()
+	env.Order = c.order
+	env.Time = c.envTime()
 	env.Hdr[header.ProtoSpec] = proto
 	env.Hdr[header.MsgSpec] = msgRegion
 	env.Hdr[header.Gossip] = gos
@@ -792,10 +1010,14 @@ func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlO
 	}
 	ctx := c.ctx(env)
 	if v, _ := c.st.ControlSend(ctx, m, from); v != stack.Continue {
+		c.putCtx(ctx)
+		c.putEnv(env)
 		m.Free()
 		return fmt.Errorf("core: control message rejected below %s", from.Name())
 	}
 	if st := c.send.runFilter(env); st != filter.StatusOK {
+		c.putCtx(ctx)
+		c.putEnv(env)
 		m.Free()
 		return fmt.Errorf("%w: control message (status %d)", ErrSendFailed, st)
 	}
@@ -803,6 +1025,8 @@ func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlO
 	c.needConnID = false
 	c.stats.ControlMsgs++
 	c.st.ControlPostSend(ctx, m, from)
+	c.putCtx(ctx)
+	c.putEnv(env)
 	m.Free()
 	return nil
 }
@@ -825,7 +1049,7 @@ func (c *Conn) EnqueueDeliver(from stack.Layer, m *message.Msg) {
 // Defer implements stack.Services: the action joins the receive-side
 // post-processing queue.
 func (c *Conn) Defer(f func()) {
-	c.recv.pending = append(c.recv.pending, f)
+	c.recv.pushPost(postOp{kind: postFn, fn: f})
 }
 
 // DebugString renders the per-connection PA state of the paper's Table 3:
@@ -839,7 +1063,7 @@ func (c *Conn) DebugString() string {
 		c.spec.Addr, c.outCookie, c.needConnID)
 	side := func(name string, s *sideState, filterLen int) {
 		fmt.Fprintf(&b, "  %-8s mode=%-4s disable=%d pending-post=%d",
-			name, s.mode, s.disable, len(s.pending))
+			name, s.mode, s.disable, s.pendingLen())
 		if name == "send" {
 			fmt.Fprintf(&b, " backlog=%d", len(s.backlog))
 		}

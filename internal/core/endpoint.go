@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"paccel/internal/bits"
 	"paccel/internal/filter"
@@ -11,36 +12,98 @@ import (
 	"paccel/internal/stack"
 )
 
+// ErrCookieCollision is returned by Dial when PeerSpec.ExpectInCookie is
+// already routed to a live connection. Cookies are 62-bit random values,
+// so a collision between honestly drawn cookies is vanishingly unlikely —
+// but pre-agreed cookies are chosen by the application, and silently
+// rebinding one would hijack the existing connection's traffic.
+var ErrCookieCollision = errors.New("core: cookie already bound to another connection")
+
+// cookieShardCount is the number of router shards for the cookie table.
+// 64 shards keep receive-path lookups for different connections on
+// different locks (and mostly different cache lines) on any realistic
+// core count.
+const cookieShardCount = 64
+
+// cookieShard is one slice of the cookie→conn table. Shards are padded to
+// a cache line so two cores routing through neighbouring shards do not
+// false-share.
+type cookieShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Conn
+	_  [24]byte // pad to 64 bytes
+}
+
+// shardIndex spreads cookies over the shards. Cookies are uniform random
+// 62-bit values already, but pre-agreed cookies may be small integers, so
+// mix with the 64-bit golden ratio before taking the top bits.
+func shardIndex(cookie uint64) uint64 {
+	return (cookie * 0x9E3779B97F4A7C15) >> 58
+}
+
 // Endpoint is one host attachment: it owns the transport, the router that
 // demultiplexes incoming datagrams to Protocol Accelerators (by cookie in
 // the normal case, by connection identification otherwise — §2.2), and
 // the connections themselves.
+//
+// Concurrency model: the receive path is lock-light so that concurrent
+// receives for different connections never serialize on the endpoint.
+// Cookie lookups take one shard read-lock, identification lookups one
+// table read-lock, and the router counters are atomics. All routing-table
+// *writes* (Dial, connection teardown, cookie learning) additionally
+// serialize on routeMu, which keeps the per-connection cookie
+// bookkeeping consistent without ever blocking readers of other shards.
 type Endpoint struct {
 	cfg Config
 
-	mu       sync.Mutex
-	conns    map[*Conn]struct{}
-	byCookie map[uint64]*Conn
-	byIdent  map[string]*Conn
-	closed   bool
+	closed atomic.Bool
+
+	// routeMu serializes routing-table writers; it is never taken on
+	// the pure lookup path.
+	routeMu sync.Mutex
+	conns   map[*Conn]struct{}
+
+	identMu sync.RWMutex
+	byIdent map[string]*Conn
+
+	shards [cookieShardCount]cookieShard
+
+	// singleLock emulates the pre-sharding router (one exclusive lock
+	// around every lookup) for benchmarks; see Config.SingleLockRouter.
+	singleLock bool
+	slMu       sync.Mutex
 
 	// template parses identifications of unknown connections; identSize
 	// is the uniform ConnID header size of this endpoint's stack shape.
 	template  Identifier
 	identSize int
 
-	stats EndpointStats
+	stats endpointCounters
 }
 
-// EndpointStats counts router-level events.
+// endpointCounters are the router-level counters, kept as atomics so the
+// receive path never takes a lock to account for a datagram.
+type endpointCounters struct {
+	received         atomic.Uint64
+	unknownCookie    atomic.Uint64
+	unknownIdent     atomic.Uint64
+	rejected         atomic.Uint64
+	accepted         atomic.Uint64
+	malformed        atomic.Uint64
+	cookiesLearned   atomic.Uint64
+	cookieCollisions atomic.Uint64
+}
+
+// EndpointStats is a snapshot of the router counters.
 type EndpointStats struct {
-	Received       uint64
-	UnknownCookie  uint64 // dropped: cookie unknown, identification absent (§2.2)
-	UnknownIdent   uint64 // dropped: identification matched no connection
-	Rejected       uint64 // accept hook declined
-	Accepted       uint64 // connections created by the accept hook
-	Malformed      uint64
-	CookiesLearned uint64
+	Received         uint64
+	UnknownCookie    uint64 // dropped: cookie unknown, identification absent (§2.2)
+	UnknownIdent     uint64 // dropped: identification matched no connection
+	Rejected         uint64 // accept hook declined
+	Accepted         uint64 // connections created by the accept hook
+	Malformed        uint64
+	CookiesLearned   uint64
+	CookieCollisions uint64 // learned or pre-agreed cookie already bound elsewhere
 }
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to the transport.
@@ -49,10 +112,13 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		return nil, errors.New("core: Config.Transport is required")
 	}
 	ep := &Endpoint{
-		cfg:      cfg,
-		conns:    make(map[*Conn]struct{}),
-		byCookie: make(map[uint64]*Conn),
-		byIdent:  make(map[string]*Conn),
+		cfg:        cfg,
+		conns:      make(map[*Conn]struct{}),
+		byIdent:    make(map[string]*Conn),
+		singleLock: cfg.SingleLockRouter,
+	}
+	for i := range ep.shards {
+		ep.shards[i].m = make(map[uint64]*Conn)
 	}
 	if err := ep.initTemplate(); err != nil {
 		return nil, err
@@ -100,77 +166,131 @@ func (ep *Endpoint) initTemplate() error {
 
 // Stats returns a snapshot of the router counters.
 func (ep *Endpoint) Stats() EndpointStats {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.stats
+	return EndpointStats{
+		Received:         ep.stats.received.Load(),
+		UnknownCookie:    ep.stats.unknownCookie.Load(),
+		UnknownIdent:     ep.stats.unknownIdent.Load(),
+		Rejected:         ep.stats.rejected.Load(),
+		Accepted:         ep.stats.accepted.Load(),
+		Malformed:        ep.stats.malformed.Load(),
+		CookiesLearned:   ep.stats.cookiesLearned.Load(),
+		CookieCollisions: ep.stats.cookieCollisions.Load(),
+	}
 }
 
 // IdentSize returns the endpoint's connection identification size (the
 // paper's ~76 bytes).
 func (ep *Endpoint) IdentSize() int { return ep.identSize }
 
+// lookupCookie routes a cookie to its connection, or nil.
+func (ep *Endpoint) lookupCookie(cookie uint64) *Conn {
+	if ep.singleLock {
+		ep.slMu.Lock()
+		defer ep.slMu.Unlock()
+	}
+	sh := &ep.shards[shardIndex(cookie)]
+	sh.mu.RLock()
+	c := sh.m[cookie]
+	sh.mu.RUnlock()
+	return c
+}
+
+// bindCookie records cookie→c, refusing to steal a binding from a live
+// connection. Caller holds routeMu. Reports whether the binding was made.
+func (ep *Endpoint) bindCookie(cookie uint64, c *Conn) bool {
+	sh := &ep.shards[shardIndex(cookie)]
+	sh.mu.Lock()
+	if prev, ok := sh.m[cookie]; ok && prev != c {
+		sh.mu.Unlock()
+		ep.stats.cookieCollisions.Add(1)
+		return false
+	}
+	sh.m[cookie] = c
+	sh.mu.Unlock()
+	c.inCookies = append(c.inCookies, cookie)
+	return true
+}
+
+// unbindCookies removes all of c's cookie routes. Caller holds routeMu.
+func (ep *Endpoint) unbindCookies(c *Conn) {
+	for _, cookie := range c.inCookies {
+		sh := &ep.shards[shardIndex(cookie)]
+		sh.mu.Lock()
+		if sh.m[cookie] == c {
+			delete(sh.m, cookie)
+		}
+		sh.mu.Unlock()
+	}
+	c.inCookies = c.inCookies[:0]
+}
+
 // Dial creates a connection to the peer described by spec and registers
 // its routes. The first outgoing message will carry the connection
 // identification (unless the spec pre-agreed cookies).
 func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if ep.closed.Load() {
 		return nil, ErrConnClosed
 	}
-	ep.mu.Unlock()
 	c, err := newConn(ep, spec)
 	if err != nil {
 		return nil, err
 	}
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if ep.closed {
+	ep.routeMu.Lock()
+	if ep.closed.Load() {
+		ep.routeMu.Unlock()
+		c.Close()
 		return nil, ErrConnClosed
+	}
+	if spec.ExpectInCookie != 0 {
+		// Register the pre-agreed cookie first: if it is already bound
+		// to a live connection, rebinding would hijack that
+		// connection's traffic — refuse instead (last-writer-wins was
+		// a silent correctness hole).
+		if !ep.bindCookie(spec.ExpectInCookie&CookieMask, c) {
+			ep.routeMu.Unlock()
+			c.Close()
+			return nil, ErrCookieCollision
+		}
 	}
 	ep.conns[c] = struct{}{}
 	// Route by the identification the peer will send, in either byte
 	// order — the preamble's order bit is not known in advance.
+	ep.identMu.Lock()
 	for _, o := range []bits.ByteOrder{bits.BigEndian, bits.LittleEndian} {
 		key := string(c.ident.ExpectedIncoming(ep.identSize, o))
 		ep.byIdent[key] = c
 	}
-	if spec.ExpectInCookie != 0 {
-		ep.byCookie[spec.ExpectInCookie&CookieMask] = c
-	}
+	ep.identMu.Unlock()
+	ep.routeMu.Unlock()
 	return c, nil
 }
 
 // removeConn unregisters a closed connection.
 func (ep *Endpoint) removeConn(c *Conn) {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
+	ep.routeMu.Lock()
+	defer ep.routeMu.Unlock()
 	delete(ep.conns, c)
+	ep.identMu.Lock()
 	for k, v := range ep.byIdent {
 		if v == c {
 			delete(ep.byIdent, k)
 		}
 	}
-	for k, v := range ep.byCookie {
-		if v == c {
-			delete(ep.byCookie, k)
-		}
-	}
+	ep.identMu.Unlock()
+	ep.unbindCookies(c)
 }
 
 // Close closes every connection and the transport.
 func (ep *Endpoint) Close() error {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if ep.closed.Swap(true) {
 		return nil
 	}
-	ep.closed = true
+	ep.routeMu.Lock()
 	conns := make([]*Conn, 0, len(ep.conns))
 	for c := range ep.conns {
 		conns = append(conns, c)
 	}
-	ep.mu.Unlock()
+	ep.routeMu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -178,25 +298,33 @@ func (ep *Endpoint) Close() error {
 }
 
 // onRecv is the router: the paper's from_network() up to connection
-// lookup (Fig. 3).
+// lookup (Fig. 3). It runs on the transport's receive goroutine(s); the
+// only locks it takes are one shard (or ident-table) read-lock, so
+// receives for different connections proceed in parallel.
 func (ep *Endpoint) onRecv(src string, datagram []byte) {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if ep.closed.Load() {
 		return
 	}
-	ep.stats.Received++
-	ep.mu.Unlock()
+	if ep.singleLock {
+		// Faithful pre-sharding behaviour: even the receive counter was
+		// a critical section of the one endpoint mutex, so every
+		// datagram paid two exclusive acquisitions (count, then route).
+		ep.slMu.Lock()
+		ep.stats.received.Add(1)
+		ep.slMu.Unlock()
+	} else {
+		ep.stats.received.Add(1)
+	}
 
 	pre, err := DecodePreamble(datagram)
 	if err != nil {
-		ep.note(func(s *EndpointStats) { s.Malformed++ })
+		ep.stats.malformed.Add(1)
 		return
 	}
 	m := message.FromWire(datagram)
 	m.Order = pre.Order
 	if _, err := m.Pop(PreambleSize); err != nil {
-		ep.note(func(s *EndpointStats) { s.Malformed++ })
+		ep.stats.malformed.Add(1)
 		m.Free()
 		return
 	}
@@ -205,7 +333,7 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 	var c *Conn
 	if pre.ConnIDPresent {
 		if cid, err = m.Pop(ep.identSize); err != nil {
-			ep.note(func(s *EndpointStats) { s.Malformed++ })
+			ep.stats.malformed.Add(1)
 			m.Free()
 			return
 		}
@@ -216,16 +344,12 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 		}
 		ep.learnCookie(c, pre.Cookie)
 	} else {
-		ep.mu.Lock()
-		c = ep.byCookie[pre.Cookie]
-		if c == nil {
-			ep.stats.UnknownCookie++
-		}
-		ep.mu.Unlock()
+		c = ep.lookupCookie(pre.Cookie)
 		if c == nil {
 			// "When a message is received with an unknown cookie,
 			// and the Connection Identification Present Bit
 			// cleared, it is dropped" (§2.2).
+			ep.stats.unknownCookie.Add(1)
 			m.Free()
 			return
 		}
@@ -237,67 +361,85 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 // lookupIdent routes an identified message, consulting the accept hook for
 // unknown identifications.
 func (ep *Endpoint) lookupIdent(cid []byte, pre Preamble, src string) *Conn {
-	ep.mu.Lock()
-	c := ep.byIdent[string(cid)]
-	accept := ep.cfg.Accept
-	onConn := ep.cfg.OnConn
-	ep.mu.Unlock()
-	if c != nil {
-		return c
+	if ep.singleLock {
+		ep.slMu.Lock()
+		c := ep.byIdent[string(cid)]
+		ep.slMu.Unlock()
+		if c != nil {
+			return c
+		}
+	} else {
+		ep.identMu.RLock()
+		c := ep.byIdent[string(cid)]
+		ep.identMu.RUnlock()
+		if c != nil {
+			return c
+		}
 	}
+	accept := ep.cfg.Accept
 	if accept == nil {
-		ep.note(func(s *EndpointStats) { s.UnknownIdent++ })
+		ep.stats.unknownIdent.Add(1)
 		return nil
 	}
 	info := ep.template.ParseIncoming(cid, pre.Order)
 	spec, ok := accept(info, src)
 	if !ok {
-		ep.note(func(s *EndpointStats) { s.Rejected++ })
+		ep.stats.rejected.Add(1)
 		return nil
 	}
 	nc, err := ep.Dial(spec)
 	if err != nil {
-		ep.note(func(s *EndpointStats) { s.Rejected++ })
+		ep.stats.rejected.Add(1)
 		return nil
 	}
-	ep.note(func(s *EndpointStats) { s.Accepted++ })
-	if onConn != nil {
+	ep.stats.accepted.Add(1)
+	if onConn := ep.cfg.OnConn; onConn != nil {
 		onConn(nc)
 	}
 	// The accepted spec must route the identification that created it.
-	ep.mu.Lock()
-	c = ep.byIdent[string(cid)]
-	ep.mu.Unlock()
+	ep.identMu.RLock()
+	c := ep.byIdent[string(cid)]
+	ep.identMu.RUnlock()
 	if c == nil {
 		// Accept hook returned a mismatched spec; route explicitly so
 		// the message is not lost, but flag it.
-		ep.mu.Lock()
+		ep.identMu.Lock()
 		ep.byIdent[string(cid)] = nc
-		ep.mu.Unlock()
+		ep.identMu.Unlock()
 		c = nc
 	}
 	return c
 }
 
-// learnCookie records the peer's (incoming) cookie for cookie-only routing.
+// learnCookie records the peer's (incoming) cookie for cookie-only
+// routing. If the cookie is already bound to a different live connection
+// the existing binding wins: rebinding on the say-so of one identified
+// datagram would let a latecomer hijack an established route, so the
+// event is only counted (EndpointStats.CookieCollisions).
 func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if prev, ok := ep.byCookie[cookie]; ok && prev == c {
+	// Fast path: the common re-identification (every "unusual" message
+	// carries the identification) re-learns the same cookie.
+	if ep.lookupCookie(cookie) == c {
 		return
 	}
-	// Forget this connection's previous cookie, if any.
-	for k, v := range ep.byCookie {
-		if v == c {
-			delete(ep.byCookie, k)
-		}
+	ep.routeMu.Lock()
+	defer ep.routeMu.Unlock()
+	// Re-check under the write lock; another receive may have won.
+	sh := &ep.shards[shardIndex(cookie)]
+	sh.mu.RLock()
+	prev := sh.m[cookie]
+	sh.mu.RUnlock()
+	if prev == c {
+		return
 	}
-	ep.byCookie[cookie] = c
-	ep.stats.CookiesLearned++
-}
-
-func (ep *Endpoint) note(f func(*EndpointStats)) {
-	ep.mu.Lock()
-	f(&ep.stats)
-	ep.mu.Unlock()
+	if prev != nil {
+		ep.stats.cookieCollisions.Add(1)
+		return
+	}
+	// Forget this connection's previous cookie, if any (the peer may
+	// have restarted with a fresh cookie).
+	ep.unbindCookies(c)
+	if ep.bindCookie(cookie, c) {
+		ep.stats.cookiesLearned.Add(1)
+	}
 }

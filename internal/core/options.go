@@ -9,10 +9,18 @@ import (
 
 // Transport is the unreliable datagram interface the PA runs over — the
 // U-Net contract of the paper. Both netsim.Endpoint and udp.Transport
-// satisfy it. Implementations must deliver serially (one handler call at a
-// time per endpoint); both provided transports do.
+// satisfy it.
+//
+// Buffer ownership: the datagram slice passed to the handler is only
+// valid for the duration of the call — transports recycle their receive
+// buffers, so the handler must copy anything it retains (the engine's
+// router copies into a pooled message immediately). Transports may invoke
+// the handler concurrently from multiple goroutines; the engine's router
+// is safe for concurrent receives and serializes per connection only.
 type Transport interface {
-	// Send transmits one datagram; delivery is unreliable.
+	// Send transmits one datagram; delivery is unreliable. The datagram
+	// is owned by the caller again once Send returns (implementations
+	// copy what they queue).
 	Send(dst string, datagram []byte) error
 	// SetHandler installs the receive callback.
 	SetHandler(h func(src string, datagram []byte))
@@ -113,6 +121,12 @@ type Config struct {
 	// CompiledFilters runs packet filters through the closure compiler
 	// instead of the interpreter (the Exokernel-style optimization).
 	CompiledFilters bool
+	// SingleLockRouter routes every incoming datagram through one
+	// exclusive endpoint lock instead of the sharded cookie table — the
+	// pre-sharding router, kept as a benchmarking ablation so the
+	// contention cost stays measurable (BenchmarkEndpointParallelRecv).
+	// Never set it in production configurations.
+	SingleLockRouter bool
 	// PackSameSizeOnly restricts message packing to runs of equal-sized
 	// messages, the paper's current PA. Default false: general packing.
 	PackSameSizeOnly bool

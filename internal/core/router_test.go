@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"paccel/internal/netsim"
+	"paccel/internal/vclock"
+)
+
+func routerEndpoint(t *testing.T) *Endpoint {
+	t.Helper()
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	ep, err := NewEndpoint(Config{Transport: net.Endpoint("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	return ep
+}
+
+func routerSpec(i int, cookie uint64) PeerSpec {
+	return PeerSpec{
+		Addr: "B", LocalID: []byte("me"), RemoteID: []byte("peer"),
+		LocalPort: uint16(10 + i), RemotePort: uint16(20 + i), Epoch: 1,
+		ExpectInCookie: cookie,
+	}
+}
+
+// TestDialCookieCollision: a pre-agreed cookie already routed to a live
+// connection must be refused, not silently rebound (last-writer-wins let
+// a second Dial hijack the first connection's traffic).
+func TestDialCookieCollision(t *testing.T) {
+	ep := routerEndpoint(t)
+	const cookie = 0xfeedbeef
+
+	first, err := ep.Dial(routerSpec(0, cookie))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Dial(routerSpec(1, cookie)); !errors.Is(err, ErrCookieCollision) {
+		t.Fatalf("second Dial error = %v, want ErrCookieCollision", err)
+	}
+	if got := ep.Stats().CookieCollisions; got != 1 {
+		t.Fatalf("CookieCollisions = %d, want 1", got)
+	}
+	if c := ep.lookupCookie(cookie); c != first {
+		t.Fatalf("cookie routes to %p, want the first connection %p", c, first)
+	}
+	// The losing Dial must not leave routing debris behind.
+	if _, err := ep.Dial(routerSpec(1, 0xfeedbee0)); err != nil {
+		t.Fatalf("Dial after refused collision: %v", err)
+	}
+}
+
+// TestLearnCookieKeepsExistingBinding: learning a cookie from an
+// identified message must never steal a cookie already routed to another
+// live connection — the existing binding wins and the event is counted.
+func TestLearnCookieKeepsExistingBinding(t *testing.T) {
+	ep := routerEndpoint(t)
+	const cookie = 0xabadcafe
+
+	first, err := ep.Dial(routerSpec(0, cookie))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ep.Dial(routerSpec(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ep.learnCookie(other, cookie)
+	if c := ep.lookupCookie(cookie); c != first {
+		t.Fatalf("cookie routes to %p after learn, want original %p", c, first)
+	}
+	if got := ep.Stats().CookieCollisions; got != 1 {
+		t.Fatalf("CookieCollisions = %d, want 1", got)
+	}
+
+	// Learning a fresh cookie for the same connection still works, and
+	// replaces its previous one.
+	ep.learnCookie(other, 0x1111)
+	ep.learnCookie(other, 0x2222)
+	if c := ep.lookupCookie(0x2222); c != other {
+		t.Fatal("fresh cookie not learned")
+	}
+	if c := ep.lookupCookie(0x1111); c != nil {
+		t.Fatal("stale cookie still routed after relearn")
+	}
+	if got := ep.Stats().CookiesLearned; got != 2 {
+		t.Fatalf("CookiesLearned = %d, want 2", got)
+	}
+}
+
+// TestCollisionStatsSnapshot: the new counter is part of the public
+// snapshot and starts at zero.
+func TestCollisionStatsSnapshot(t *testing.T) {
+	ep := routerEndpoint(t)
+	if got := ep.Stats().CookieCollisions; got != 0 {
+		t.Fatalf("fresh endpoint CookieCollisions = %d", got)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paccel/internal/layers"
+	"paccel/internal/netsim"
+	"paccel/internal/udp"
+	"paccel/internal/vclock"
+)
+
+// echoServerConfig returns a server Config that accepts every incoming
+// identification and echoes every delivery back.
+func echoServerConfig(transport Transport, reportErr func(error)) Config {
+	return Config{
+		Transport: transport,
+		Accept: func(remote layers.IdentInfo, netSrc string) (PeerSpec, bool) {
+			return PeerSpec{
+				Addr:     netSrc,
+				LocalID:  bytes.TrimRight(remote.Dst, "\x00"),
+				RemoteID: bytes.TrimRight(remote.Src, "\x00"),
+				LocalPort: remote.DstPort, RemotePort: remote.SrcPort,
+				Epoch: remote.Epoch,
+			}, true
+		},
+		OnConn: func(c *Conn) {
+			c.OnDeliver(func(req []byte) {
+				data := append([]byte(nil), req...)
+				for {
+					err := c.Send(data)
+					if err == nil {
+						return
+					}
+					if errors.Is(err, ErrBacklogFull) {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					reportErr(err)
+					return
+				}
+			})
+		},
+	}
+}
+
+// stressEndpoint hammers one server endpoint with concurrent sends and
+// receives across nConns client connections: every client goroutine
+// streams msgs echo round trips while the server concurrently receives
+// and sends on all connections. Designed to run under -race.
+func stressEndpoint(t *testing.T, nConns, msgs int, clientTransport func(i int) Transport, serverTransport Transport, serverAddr string) {
+	t.Helper()
+
+	errCh := make(chan error, nConns*4)
+	reportErr := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	server, err := NewEndpoint(echoServerConfig(serverTransport, reportErr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < nConns; i++ {
+		ep, err := NewEndpoint(Config{Transport: clientTransport(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		conn, err := ep.Dial(PeerSpec{
+			Addr:    serverAddr,
+			LocalID: []byte(fmt.Sprintf("cli%02d", i)), RemoteID: []byte("srv"),
+			LocalPort: uint16(100 + i), RemotePort: 1, Epoch: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		echoed := make(chan struct{}, msgs)
+		conn.OnDeliver(func([]byte) { echoed <- struct{}{} })
+
+		wg.Add(1)
+		go func(i int, conn *Conn) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("stress-%02d-payload", i))
+			pending := 0
+			deadline := time.After(30 * time.Second)
+			for sent := 0; sent < msgs; {
+				err := conn.Send(payload)
+				switch {
+				case err == nil:
+					sent++
+					pending++
+				case errors.Is(err, ErrBacklogFull):
+					// Window backpressure: absorb an echo, then retry.
+					select {
+					case <-echoed:
+						pending--
+					case <-deadline:
+						reportErr(fmt.Errorf("conn %d: timeout with %d/%d sent", i, sent, msgs))
+						return
+					}
+				default:
+					reportErr(fmt.Errorf("conn %d send: %w", i, err))
+					return
+				}
+			}
+			for pending > 0 {
+				select {
+				case <-echoed:
+					pending--
+				case <-deadline:
+					reportErr(fmt.Errorf("conn %d: timeout awaiting %d echoes", i, pending))
+					return
+				}
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if got := server.Stats().Accepted; got != uint64(nConns) {
+		t.Fatalf("server accepted %d connections, want %d", got, nConns)
+	}
+}
+
+// TestEndpointStressNetsim hammers one endpoint over the in-memory
+// network: deliveries run on the senders' goroutines, so the router sees
+// genuinely concurrent receives for 8 connections.
+func TestEndpointStressNetsim(t *testing.T) {
+	msgs := 400
+	if testing.Short() {
+		msgs = 50
+	}
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	stressEndpoint(t, 8, msgs,
+		func(i int) Transport { return net.Endpoint(fmt.Sprintf("c%d", i)) },
+		net.Endpoint("srv"), "srv")
+}
+
+// TestEndpointStressUDP is the same hammer over real UDP sockets on the
+// loopback; the window layer's retransmissions absorb any kernel-dropped
+// datagrams.
+func TestEndpointStressUDP(t *testing.T) {
+	msgs := 100
+	if testing.Short() {
+		msgs = 20
+	}
+	serverT, err := udp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressEndpoint(t, 8, msgs,
+		func(i int) Transport {
+			tr, err := udp.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+		serverT, serverT.LocalAddr())
+}

@@ -61,6 +61,20 @@ func (p *Program) SetConst(i int, v int64) error {
 	return nil
 }
 
+// UsesTime reports whether the program contains a PushTime instruction.
+// The engine uses it to skip the per-message clock read when nothing in
+// the connection's filters consumes the timestamp; layers that read
+// Env.Time outside the filters (like the stamp layer's post hooks) must
+// emit PushTime so the engine keeps supplying it.
+func (p *Program) UsesTime() bool {
+	for i := range p.ins {
+		if p.ins[i].Op == PushTime {
+			return true
+		}
+	}
+	return false
+}
+
 // Disassemble renders the whole program, one instruction per line.
 func (p *Program) Disassemble() string {
 	var b strings.Builder

@@ -12,14 +12,21 @@
 // injection, closed endpoints, oversized frames are an error) and no
 // acknowledgements exist at this level — reliability is the protocol
 // stack's job.
+//
+// Buffer ownership: datagrams in flight live in pooled buffers; the
+// receive handler owns the datagram slice only for the duration of the
+// call and must copy anything it retains. The perfect-network send path
+// (no latency, jitter, bit rate, or fault injection) takes no network-
+// wide exclusive lock and allocates nothing once the pools are warm, so
+// concurrent senders to different endpoints do not serialize.
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paccel/internal/vclock"
@@ -62,6 +69,13 @@ type Config struct {
 	Seed int64
 }
 
+// perfect reports whether the configuration needs neither timers nor the
+// random number generator: every datagram is delivered synchronously.
+func (c *Config) perfect() bool {
+	return c.Latency == 0 && c.Jitter == 0 && c.BitRate == 0 &&
+		c.LossRate == 0 && c.DupRate == 0 && c.ReorderRate == 0
+}
+
 // PaperConfig returns the paper's testbed network: 35 µs one-way latency
 // over 140 Mbit/s ATM, no loss ("in our experiments no message loss was
 // detected", §5).
@@ -75,19 +89,32 @@ type Stats struct {
 	BytesSent                                    uint64
 }
 
+// netStats are the live counters, atomics so the send path never takes a
+// network-wide lock just to account for a datagram.
+type netStats struct {
+	sent, delivered, lost, duplicated, reordered, bytesSent atomic.Uint64
+}
+
 // Network is a simulated datagram network.
 type Network struct {
 	clock vclock.Clock
 	cfg   Config
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	eps    map[Addr]*Endpoint
-	links  map[link]*linkState
-	down   map[link]bool
-	seq    uint64
-	stats  Stats
-	closed bool
+	// mu guards the topology: the endpoint table and partitioned links.
+	// The send path only ever read-locks it.
+	mu   sync.RWMutex
+	eps  map[Addr]*Endpoint
+	down map[link]bool
+
+	// faultMu guards the fault-injection state: the seeded rng (draw
+	// order is part of the deterministic contract) and the per-link
+	// serialization horizon. Only taken when the config needs them.
+	faultMu sync.Mutex
+	rng     *rand.Rand
+	links   map[link]*linkState
+
+	seq   atomic.Uint64
+	stats netStats
 }
 
 type link struct{ src, dst Addr }
@@ -115,9 +142,14 @@ func New(clock vclock.Clock, cfg Config) *Network {
 
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		Sent:       n.stats.sent.Load(),
+		Delivered:  n.stats.delivered.Load(),
+		Lost:       n.stats.lost.Load(),
+		Duplicated: n.stats.duplicated.Load(),
+		Reordered:  n.stats.reordered.Load(),
+		BytesSent:  n.stats.bytesSent.Load(),
+	}
 }
 
 // SetLinkDown partitions (or heals) the directed link src→dst.
@@ -139,17 +171,32 @@ func (n *Network) Endpoint(addr Addr) *Endpoint {
 	return ep
 }
 
+// bufPool holds in-flight datagram copies. Pointers to slices, so Get/Put
+// do not allocate for the interface conversion.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// copyToPooled copies a datagram into a pooled buffer.
+func copyToPooled(datagram []byte) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < len(datagram) {
+		*bp = make([]byte, len(datagram))
+	}
+	*bp = (*bp)[:len(datagram)]
+	copy(*bp, datagram)
+	return bp
+}
+
 // Endpoint is one attachment point, implementing the unreliable datagram
 // contract the Protocol Accelerator's router consumes.
 type Endpoint struct {
 	net  *Network
 	addr Addr
 
+	closed   atomic.Bool
 	mu       sync.Mutex
 	handler  func(src Addr, datagram []byte)
 	inbox    deliveryHeap
 	draining bool
-	closed   bool
 }
 
 // LocalAddr returns the endpoint's address.
@@ -157,7 +204,8 @@ func (e *Endpoint) LocalAddr() Addr { return e.addr }
 
 // SetHandler installs the receive callback. The handler runs on the
 // delivering goroutine (a timer callback, or the sender itself when the
-// network is instantaneous) and owns the datagram slice.
+// network is instantaneous); the datagram slice is pooled and only valid
+// for the duration of the call.
 func (e *Endpoint) SetHandler(h func(src Addr, datagram []byte)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -167,55 +215,66 @@ func (e *Endpoint) SetHandler(h func(src Addr, datagram []byte)) {
 // Close detaches the endpoint; further sends fail and queued deliveries
 // are discarded.
 func (e *Endpoint) Close() error {
+	e.closed.Store(true)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.closed = true
+	for i := range e.inbox {
+		bufPool.Put(e.inbox[i].data)
+		e.inbox[i] = delivery{}
+	}
 	e.inbox = nil
 	return nil
 }
 
-// Send transmits a datagram to dst. The data is copied. Delivery is
-// unreliable and — when the configured latency, jitter and bit rate are
-// all zero — synchronous: the destination handler runs before Send
-// returns.
+// Send transmits a datagram to dst. The data is copied (into a pooled
+// buffer). Delivery is unreliable and — when the configured latency,
+// jitter and bit rate are all zero — synchronous: the destination handler
+// runs before Send returns.
 func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 	n := e.net
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.mu.Unlock()
 	if len(datagram) > n.cfg.MTU {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(datagram), n.cfg.MTU)
 	}
 
-	n.mu.Lock()
-	n.stats.Sent++
-	n.stats.BytesSent += uint64(len(datagram))
-	if n.down[link{e.addr, dst}] {
-		n.stats.Lost++
-		n.mu.Unlock()
+	n.stats.sent.Add(1)
+	n.stats.bytesSent.Add(uint64(len(datagram)))
+	n.mu.RLock()
+	isDown := n.down[link{e.addr, dst}]
+	target := n.eps[dst]
+	n.mu.RUnlock()
+	if isDown || target == nil {
+		n.stats.lost.Add(1)
 		return nil
-	}
-	target, ok := n.eps[dst]
-	if !ok {
-		n.stats.Lost++
-		n.mu.Unlock()
-		return nil
-	}
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-		n.stats.Lost++
-		n.mu.Unlock()
-		return nil
-	}
-	copies := 1
-	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
-		copies = 2
-		n.stats.Duplicated++
 	}
 
+	if n.cfg.perfect() {
+		// Perfect instantaneous network: no rng draws, no timers, no
+		// network-wide exclusive lock — deliver synchronously.
+		target.deliver(delivery{
+			src: e.addr, data: copyToPooled(datagram), seq: n.seq.Add(1),
+		})
+		return nil
+	}
+
+	// Fault-injecting / delaying path. The rng draw order per message
+	// (loss, dup, then per-copy jitter and reorder) is part of the
+	// deterministic-replay contract; keep it stable under one lock.
 	now := n.clock.Now()
+	var arrivals [2]time.Time
+	copies := 1
+	n.faultMu.Lock()
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.faultMu.Unlock()
+		n.stats.lost.Add(1)
+		return nil
+	}
+	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		copies = 2
+		n.stats.duplicated.Add(1)
+	}
 	for c := 0; c < copies; c++ {
 		delay := n.cfg.Latency
 		if n.cfg.Jitter > 0 {
@@ -223,7 +282,7 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 		}
 		if n.cfg.ReorderRate > 0 && n.rng.Float64() < n.cfg.ReorderRate {
 			delay += n.cfg.Latency + time.Duration(n.rng.Int63n(int64(n.cfg.Latency)+1))
-			n.stats.Reordered++
+			n.stats.reordered.Add(1)
 		}
 		arrival := now.Add(delay)
 		if n.cfg.BitRate > 0 {
@@ -241,28 +300,28 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 			ls.nextFree = start.Add(tx)
 			arrival = ls.nextFree.Add(n.cfg.Latency)
 		}
-		n.seq++
+		arrivals[c] = arrival
+	}
+	n.faultMu.Unlock()
+
+	for c := 0; c < copies; c++ {
+		arrival := arrivals[c]
 		d := delivery{
-			src: e.addr, data: append([]byte(nil), datagram...),
-			arrival: arrival, seq: n.seq,
+			src: e.addr, data: copyToPooled(datagram),
+			arrival: arrival, seq: n.seq.Add(1),
 		}
 		if arrival.After(now) {
-			n.mu.Unlock()
 			n.clock.AfterFunc(arrival.Sub(now), func() { target.deliver(d) })
-			n.mu.Lock()
 		} else {
-			n.mu.Unlock()
 			target.deliver(d)
-			n.mu.Lock()
 		}
 	}
-	n.mu.Unlock()
 	return nil
 }
 
 type delivery struct {
 	src     Addr
-	data    []byte
+	data    *[]byte // pooled; returned after the handler runs
 	arrival time.Time
 	seq     uint64
 }
@@ -274,11 +333,12 @@ type delivery struct {
 // earlier-sorting arrival during a handler) can never corrupt the drain.
 func (e *Endpoint) deliver(d delivery) {
 	e.mu.Lock()
-	if e.closed {
+	if e.closed.Load() {
 		e.mu.Unlock()
+		bufPool.Put(d.data)
 		return
 	}
-	heap.Push(&e.inbox, d)
+	e.inbox.push(d)
 	if e.draining {
 		// Another goroutine is draining; it will pick this up.
 		e.mu.Unlock()
@@ -286,42 +346,71 @@ func (e *Endpoint) deliver(d delivery) {
 	}
 	e.draining = true
 	handled := uint64(0)
-	for !e.closed && len(e.inbox) > 0 {
-		next := heap.Pop(&e.inbox).(delivery)
+	for !e.closed.Load() && len(e.inbox) > 0 {
+		next := e.inbox.pop()
 		h := e.handler
 		e.mu.Unlock()
 		if h != nil {
-			h(next.src, next.data)
+			h(next.src, *next.data)
 		}
+		bufPool.Put(next.data)
 		handled++
 		e.mu.Lock()
 	}
 	e.draining = false
 	e.mu.Unlock()
-	e.net.noteDelivered(handled)
+	e.net.stats.delivered.Add(handled)
 }
 
-func (n *Network) noteDelivered(count uint64) {
-	n.mu.Lock()
-	n.stats.Delivered += count
-	n.mu.Unlock()
-}
-
+// deliveryHeap is a hand-rolled binary min-heap ordered by (arrival, seq).
+// container/heap is avoided because its interface-typed Push boxes every
+// delivery, allocating on the per-datagram path.
 type deliveryHeap []delivery
 
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
+func (h deliveryHeap) less(i, j int) bool {
 	if !h[i].arrival.Equal(h[j].arrival) {
 		return h[i].arrival.Before(h[j].arrival)
 	}
 	return h[i].seq < h[j].seq
 }
-func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
-func (h *deliveryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	d := old[n-1]
-	*h = old[:n-1]
-	return d
+
+func (h *deliveryHeap) push(d delivery) {
+	*h = append(*h, d)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *deliveryHeap) pop() delivery {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = delivery{} // release the buffer reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }

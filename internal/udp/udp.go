@@ -6,6 +6,7 @@ package udp
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 )
@@ -13,9 +14,17 @@ import (
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("udp: transport closed")
 
-// MaxDatagram is the largest datagram Send accepts; beyond this, the
-// protocol stack's fragmentation layer must have split the message.
-const MaxDatagram = 60000
+// ErrDatagramTooLarge is returned (wrapped, with the sizes) by Send for
+// datagrams over MaxDatagram.
+var ErrDatagramTooLarge = errors.New("udp: datagram too large")
+
+// MaxDatagram is the largest datagram Send accepts: the real UDP payload
+// ceiling, 65535 minus the 8-byte UDP header and 20-byte IPv4 header.
+// The protocol stack's fragmentation layer must split anything larger.
+const MaxDatagram = 65507
+
+// resolveUDPAddr is swappable in tests to observe and stall resolution.
+var resolveUDPAddr = net.ResolveUDPAddr
 
 // Transport is an unreliable datagram endpoint over a UDP socket. Its
 // Send/SetHandler/LocalAddr/Close surface mirrors netsim.Endpoint, keyed
@@ -23,11 +32,21 @@ const MaxDatagram = 60000
 type Transport struct {
 	conn *net.UDPConn
 
-	mu      sync.Mutex
-	handler func(src string, datagram []byte)
-	peers   map[string]*net.UDPAddr
-	closed  bool
-	done    chan struct{}
+	mu        sync.Mutex
+	handler   func(src string, datagram []byte)
+	peers     map[string]*net.UDPAddr
+	resolving map[string]*resolveOp
+	closed    bool
+	done      chan struct{}
+}
+
+// resolveOp is the single-flight state for one in-progress resolution:
+// concurrent Sends to the same unresolved peer wait on done instead of
+// issuing duplicate resolver queries.
+type resolveOp struct {
+	done chan struct{}
+	addr *net.UDPAddr
+	err  error
 }
 
 // Listen opens a UDP socket on addr ("127.0.0.1:0" for an ephemeral port)
@@ -42,9 +61,10 @@ func Listen(addr string) (*Transport, error) {
 		return nil, err
 	}
 	t := &Transport{
-		conn:  conn,
-		peers: make(map[string]*net.UDPAddr),
-		done:  make(chan struct{}),
+		conn:      conn,
+		peers:     make(map[string]*net.UDPAddr),
+		resolving: make(map[string]*resolveOp),
+		done:      make(chan struct{}),
 	}
 	go t.readLoop()
 	return t, nil
@@ -54,7 +74,9 @@ func Listen(addr string) (*Transport, error) {
 func (t *Transport) LocalAddr() string { return t.conn.LocalAddr().String() }
 
 // SetHandler installs the receive callback. It runs on the transport's
-// receive goroutine and owns the datagram slice.
+// receive goroutine; the datagram slice is the transport's receive buffer
+// and is only valid for the duration of the call — the handler must copy
+// anything it retains.
 func (t *Transport) SetHandler(h func(src string, datagram []byte)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -62,10 +84,11 @@ func (t *Transport) SetHandler(h func(src string, datagram []byte)) {
 }
 
 // Send transmits one datagram to dst (host:port). Destination addresses
-// are resolved once and cached.
+// are resolved once and cached; concurrent Sends to the same new peer
+// share a single resolution.
 func (t *Transport) Send(dst string, datagram []byte) error {
 	if len(datagram) > MaxDatagram {
-		return errors.New("udp: datagram too large")
+		return fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(datagram), MaxDatagram)
 	}
 	t.mu.Lock()
 	if t.closed {
@@ -73,16 +96,34 @@ func (t *Transport) Send(dst string, datagram []byte) error {
 		return ErrClosed
 	}
 	ua := t.peers[dst]
-	t.mu.Unlock()
+	var op *resolveOp
 	if ua == nil {
-		resolved, err := net.ResolveUDPAddr("udp", dst)
-		if err != nil {
-			return err
+		if op = t.resolving[dst]; op == nil {
+			// First sender resolves; later ones wait on op.done.
+			op = &resolveOp{done: make(chan struct{})}
+			t.resolving[dst] = op
+			t.mu.Unlock()
+			op.addr, op.err = resolveUDPAddr("udp", dst)
+			close(op.done)
+			t.mu.Lock()
+			delete(t.resolving, dst)
+			// Skip the cache insert if Close won the race: a write
+			// after Close would resurrect state the shutdown already
+			// swept.
+			if op.err == nil && !t.closed {
+				t.peers[dst] = op.addr
+			}
+			t.mu.Unlock()
+		} else {
+			t.mu.Unlock()
+			<-op.done
 		}
-		t.mu.Lock()
-		t.peers[dst] = resolved
+		if op.err != nil {
+			return op.err
+		}
+		ua = op.addr
+	} else {
 		t.mu.Unlock()
-		ua = resolved
 	}
 	_, err := t.conn.WriteToUDP(datagram, ua)
 	return err
@@ -105,6 +146,8 @@ func (t *Transport) Close() error {
 func (t *Transport) readLoop() {
 	defer close(t.done)
 	buf := make([]byte, 65536)
+	var lastAddr net.UDPAddr
+	var lastSrc string
 	for {
 		n, src, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -113,10 +156,17 @@ func (t *Transport) readLoop() {
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
-		if h != nil {
-			data := make([]byte, n)
-			copy(data, buf[:n])
-			h(src.String(), data)
+		if h == nil {
+			continue
 		}
+		// Cache the stringified source: traffic is typically runs of
+		// datagrams from the same peer, and src.String() allocates.
+		if src.Port != lastAddr.Port || !src.IP.Equal(lastAddr.IP) {
+			lastAddr = net.UDPAddr{IP: append(lastAddr.IP[:0], src.IP...), Port: src.Port, Zone: src.Zone}
+			lastSrc = src.String()
+		}
+		// The handler borrows the receive buffer; per the Transport
+		// contract it must copy anything it retains past the call.
+		h(lastSrc, buf[:n])
 	}
 }

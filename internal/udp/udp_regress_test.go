@@ -1,0 +1,108 @@
+package udp
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestResolveSingleFlight: concurrent Sends to the same new peer must
+// share one resolver query (the resolve-and-cache race let every sender
+// resolve independently).
+func TestResolveSingleFlight(t *testing.T) {
+	a, b := pair(t)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	orig := resolveUDPAddr
+	resolveUDPAddr = func(network, addr string) (*net.UDPAddr, error) {
+		calls.Add(1)
+		<-release
+		return net.ResolveUDPAddr(network, addr)
+	}
+	defer func() { resolveUDPAddr = orig }()
+
+	const senders = 8
+	var wg sync.WaitGroup
+	errs := make([]error, senders)
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = a.Send(b.LocalAddr(), []byte("x"))
+		}(i)
+	}
+	// Let every sender reach the resolve path before releasing it.
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("resolver called %d times, want 1", got)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d: %v", i, err)
+		}
+	}
+	a.mu.Lock()
+	cached := a.peers[b.LocalAddr()] != nil
+	a.mu.Unlock()
+	if !cached {
+		t.Fatal("resolved address not cached")
+	}
+}
+
+// TestNoCacheInsertAfterClose: a resolution that completes after Close
+// must not write into the peer cache (the write used to land after the
+// shutdown had already swept the transport's state).
+func TestNoCacheInsertAfterClose(t *testing.T) {
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	orig := resolveUDPAddr
+	resolveUDPAddr = func(network, addr string) (*net.UDPAddr, error) {
+		close(started)
+		<-release
+		return net.ResolveUDPAddr(network, addr)
+	}
+	defer func() { resolveUDPAddr = orig }()
+
+	done := make(chan error, 1)
+	go func() { done <- a.Send("127.0.0.1:40404", []byte("x")) }()
+	<-started
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	<-done // the send fails (socket closed); the cache must stay clean
+
+	a.mu.Lock()
+	n := len(a.peers)
+	a.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("peer cache has %d entries after Close, want 0", n)
+	}
+}
+
+// TestMaxDatagramCeiling: the limit is the real UDP payload ceiling and
+// oversized sends fail with the typed error.
+func TestMaxDatagramCeiling(t *testing.T) {
+	if MaxDatagram != 65507 {
+		t.Fatalf("MaxDatagram = %d, want 65507 (65535 - 8 UDP - 20 IPv4)", MaxDatagram)
+	}
+	a, b := pair(t)
+	err := a.Send(b.LocalAddr(), make([]byte, MaxDatagram+1))
+	if !errors.Is(err, ErrDatagramTooLarge) {
+		t.Fatalf("oversized send error = %v, want ErrDatagramTooLarge", err)
+	}
+}

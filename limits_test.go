@@ -1,0 +1,98 @@
+// Size-limit alignment: the fragmentation layer must split anything the
+// transports would reject, so a full-size fragment (threshold payload
+// plus all PA framing) has to fit under both the UDP payload ceiling and
+// the simulated network's default MTU.
+package paccel_test
+
+import (
+	"sync"
+	"testing"
+
+	"paccel/internal/core"
+	"paccel/internal/layers"
+	"paccel/internal/netsim"
+	"paccel/internal/udp"
+	"paccel/internal/vclock"
+)
+
+// maxSizeTransport records the largest datagram passed to Send.
+type maxSizeTransport struct {
+	core.Transport
+	mu  sync.Mutex
+	max int
+}
+
+func (t *maxSizeTransport) Send(dst string, datagram []byte) error {
+	t.mu.Lock()
+	if len(datagram) > t.max {
+		t.max = len(datagram)
+	}
+	t.mu.Unlock()
+	return t.Transport.Send(dst, datagram)
+}
+
+func TestFragSplitsBelowTransportCeilings(t *testing.T) {
+	// A roomy simulated MTU so the measurement, not the network, is the
+	// limit; the assertion then checks the real ceilings.
+	net := netsim.New(vclock.Real{}, netsim.Config{MTU: 256 << 10})
+	meter := &maxSizeTransport{Transport: net.Endpoint("A")}
+	epA, err := core.NewEndpoint(core.Config{Transport: meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := core.NewEndpoint(core.Config{Transport: net.Endpoint("B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+
+	a, err := epA.Dial(core.PeerSpec{
+		Addr: "B", LocalID: []byte("a"), RemoteID: []byte("b"),
+		LocalPort: 1, RemotePort: 2, Epoch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epB.Dial(core.PeerSpec{
+		Addr: "A", LocalID: []byte("b"), RemoteID: []byte("a"),
+		LocalPort: 2, RemotePort: 1, Epoch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	var mu sync.Mutex
+	b.OnDeliver(func(p []byte) { mu.Lock(); got += len(p); mu.Unlock() })
+
+	// Exercise unfragmented, exactly-threshold, and multi-fragment sends.
+	total := 0
+	for _, n := range []int{
+		8,
+		layers.DefaultFragThreshold - 1,
+		layers.DefaultFragThreshold,
+		layers.DefaultFragThreshold + 1,
+		4*layers.DefaultFragThreshold + 123,
+	} {
+		if err := a.Send(make([]byte, n)); err != nil {
+			t.Fatalf("send %d bytes: %v", n, err)
+		}
+		total += n
+	}
+
+	mu.Lock()
+	delivered := got
+	mu.Unlock()
+	if delivered != total {
+		t.Fatalf("delivered %d bytes, want %d", delivered, total)
+	}
+	meter.mu.Lock()
+	max := meter.max
+	meter.mu.Unlock()
+	if max > udp.MaxDatagram {
+		t.Fatalf("largest frame %d exceeds udp.MaxDatagram %d", max, udp.MaxDatagram)
+	}
+	if max > netsim.DefaultMTU {
+		t.Fatalf("largest frame %d exceeds netsim.DefaultMTU %d", max, netsim.DefaultMTU)
+	}
+}

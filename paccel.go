@@ -64,6 +64,9 @@ type (
 	// ConnStats are the per-connection counters (fast/slow path hits,
 	// packing, retransmissions).
 	ConnStats = core.ConnStats
+	// EndpointStats are the router-level counters (demultiplexing,
+	// cookie learning, collisions).
+	EndpointStats = core.EndpointStats
 	// PeerSpec identifies a connection's two ends.
 	PeerSpec = core.PeerSpec
 	// Transport is the unreliable datagram contract (U-Net-like).
@@ -90,6 +93,13 @@ var (
 	ErrBacklogFull = core.ErrBacklogFull
 	// ErrConnClosed reports operations on a closed connection.
 	ErrConnClosed = core.ErrConnClosed
+	// ErrCookieCollision reports a Dial whose pre-agreed incoming cookie
+	// is already routed to a live connection.
+	ErrCookieCollision = core.ErrCookieCollision
+	// ErrDatagramTooLarge reports a datagram over the UDP transport's
+	// 65507-byte payload ceiling; the fragmentation layer normally
+	// splits messages well below it.
+	ErrDatagramTooLarge = udp.ErrDatagramTooLarge
 )
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to a transport.
