@@ -15,9 +15,16 @@
 // single-lock ablation and the fast-path allocation counts; -json writes
 // its machine-readable baseline (BENCH_1.json).
 //
+// The faults experiment (also not in the paper, whose testbed observed no
+// message loss) runs the deterministic chaos schedule: loss, duplication,
+// reordering, corruption, stalled bursts, partitions and dead peers
+// against the full 4-layer stack, reporting throughput and recovery
+// latency per schedule; -json writes its machine-readable baseline
+// (BENCH_2.json), and -seed pins the fault schedule.
+//
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency] [-quick] [-sim-only] [-json file]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -29,11 +36,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency: also write the machine-readable baseline to this file")
+	jsonPath := flag.String("json", "", "with -exp concurrency or faults: also write the machine-readable baseline to this file")
+	seed := flag.Int64("seed", 0, "with -exp faults: fault-schedule seed (0 = fixed default)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -104,6 +112,10 @@ func main() {
 			concurrency(*quick, *jsonPath)
 		}
 	}
+	if run("faults") {
+		any = true
+		faults(*quick, *seed, *jsonPath)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -117,6 +129,17 @@ func concurrency(quick bool, jsonPath string) {
 	fmt.Println(experiments.ConcurrencyReport(res))
 	if jsonPath != "" {
 		out, err := experiments.ConcurrencyJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func faults(quick bool, seed int64, jsonPath string) {
+	res, err := experiments.Faults(quick, seed)
+	fail(err)
+	fmt.Println(experiments.FaultsReport(res))
+	if jsonPath != "" {
+		out, err := experiments.FaultsJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

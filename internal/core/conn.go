@@ -20,8 +20,16 @@ import (
 
 // Errors returned by Conn operations.
 var (
-	ErrConnClosed  = errors.New("core: connection closed")
-	ErrBacklogFull = errors.New("core: send backlog full")
+	ErrConnClosed = errors.New("core: connection closed")
+	// ErrBackpressure is the typed graceful-degradation error: the
+	// engine refuses work rather than grow a queue without bound.
+	// Overload errors wrap it, so callers match with
+	// errors.Is(err, ErrBackpressure).
+	ErrBackpressure = errors.New("core: backpressure")
+	// ErrBacklogFull reports a send refused because prediction is
+	// disabled (window closed) and the backlog is at MaxBacklog. It
+	// wraps ErrBackpressure.
+	ErrBacklogFull = fmt.Errorf("%w: send backlog full", ErrBackpressure)
 	ErrSendFailed  = errors.New("core: send rejected by packet filter")
 )
 
@@ -156,6 +164,19 @@ type Conn struct {
 	settling  bool
 	stats     ConnStats
 
+	// failCause is non-nil once the connection entered the Failed state
+	// (see supervise.go); it is set exactly once, under mu.
+	failCause error
+	// recvActivity counts accepted incoming datagrams — dead-peer
+	// detection's liveness signal, one increment per delivery, no clock
+	// read on the critical path.
+	recvActivity uint64
+	superSeen    uint64       // recvActivity at the last supervision tick
+	superTimer   vclock.Timer // dead-peer detection timer
+	// backlogCond, created on first use, blocks Send when
+	// Config.BlockOnBackpressure is set and the backlog is full.
+	backlogCond *sync.Cond
+
 	// idleCh wakes the optional background drainer (LazyPost+IdleDrain).
 	idleCh chan struct{}
 }
@@ -231,6 +252,7 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 		c.idleCh = make(chan struct{}, 1)
 		go c.idleDrainer()
 	}
+	c.startSupervision()
 	return c, nil
 }
 
@@ -353,6 +375,12 @@ func (c *Conn) Stats() ConnStats {
 	return c.stats
 }
 
+// Layers returns the connection's stack layers, in stack order. Callers
+// may read layer statistics; mutating a live layer is not supported.
+func (c *Conn) Layers() []stack.Layer {
+	return c.st.Layers()
+}
+
 // Modes returns the Table 3 operation modes of the two sides.
 func (c *Conn) Modes() (send, recv Mode) {
 	c.mu.Lock()
@@ -371,19 +399,28 @@ func (c *Conn) OnDeliver(fn func(payload []byte)) {
 
 // Send transmits an application message — the paper's send() (Fig. 3).
 // If prediction is disabled (window full), the message joins the backlog
-// and is packed with its neighbours once the window reopens (§3.4).
+// and is packed with its neighbours once the window reopens (§3.4). A
+// full backlog surfaces backpressure: ErrBacklogFull by default, or a
+// blocking wait with Config.BlockOnBackpressure.
 func (c *Conn) Send(payload []byte) error {
 	c.mu.Lock()
-	if c.closed {
+	if err := c.sendOpen(); err != nil {
 		c.mu.Unlock()
-		return ErrConnClosed
+		return err
 	}
 	c.drain(&c.send) // §3.1: post-sending completes before the next send
-	if c.send.disable > 0 {
-		if len(c.send.backlog) >= c.ep.cfg.maxBacklog() {
+	for c.send.disable > 0 && len(c.send.backlog) >= c.ep.cfg.maxBacklog() {
+		if !c.ep.cfg.BlockOnBackpressure {
 			c.mu.Unlock()
 			return ErrBacklogFull
 		}
+		c.blockCond().Wait()
+		if err := c.sendOpen(); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
+	if c.send.disable > 0 {
 		c.stats.Sent++
 		c.send.backlog = append(c.send.backlog, message.New(payload))
 		c.stats.Backlogged++
@@ -392,11 +429,52 @@ func (c *Conn) Send(payload []byte) error {
 	}
 	c.stats.Sent++
 	err := c.sendMsg(message.New(payload), nil)
+	c.boundPending(&c.send)
 	c.settle()
 	c.wakeIdle()
 	c.mu.Unlock()
 	c.flushTx()
 	return err
+}
+
+// sendOpen reports whether the connection accepts new sends: not closed,
+// not failed, and the endpoint not draining for Shutdown. Caller holds
+// c.mu.
+func (c *Conn) sendOpen() error {
+	if c.closed || c.ep.draining.Load() {
+		return ErrConnClosed
+	}
+	if c.failCause != nil {
+		return c.failCause
+	}
+	return nil
+}
+
+// blockCond lazily creates the backpressure wait condition. Caller holds
+// c.mu.
+func (c *Conn) blockCond() *sync.Cond {
+	if c.backlogCond == nil {
+		c.backlogCond = sync.NewCond(&c.mu)
+	}
+	return c.backlogCond
+}
+
+// wakeBlocked releases senders blocked on backpressure (the backlog
+// shrank, or the connection closed or failed). Caller holds c.mu.
+func (c *Conn) wakeBlocked() {
+	if c.backlogCond != nil {
+		c.backlogCond.Broadcast()
+	}
+}
+
+// boundPending enforces Config.MaxPendingPost: when the lazy queue
+// outgrows its bound the engine degrades to draining inline instead of
+// deferring without limit. Caller holds c.mu.
+func (c *Conn) boundPending(s *sideState) {
+	if c.ep.cfg.LazyPost && s.pendingLen() > c.ep.cfg.maxPendingPost() {
+		c.stats.PostOverflows++
+		c.drain(s)
+	}
 }
 
 // sendMsg runs the send path for a message whose payload is final. sizes
@@ -580,11 +658,17 @@ func (c *Conn) flushTx() {
 // the preamble is already popped; cid is the identification region or nil.
 func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder) {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.failCause != nil {
+		// A failed connection keeps its routes until Close so late
+		// datagrams are accounted here rather than as router noise.
+		if c.failCause != nil {
+			c.stats.Dropped++
+		}
 		c.mu.Unlock()
 		m.Free()
 		return
 	}
+	c.recvActivity++
 	c.drain(&c.recv) // §3.1: post-delivery completes before the next delivery
 	c.settle()       // finish releases unblocked by that post-processing
 
@@ -634,6 +718,7 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 			c.queuePostDeliverBelow(m, env, at, true)
 		}
 	}
+	c.boundPending(&c.recv)
 	c.settle()
 	c.wakeIdle()
 	c.mu.Unlock()
@@ -776,6 +861,10 @@ func (c *Conn) release(item releaseItem) {
 	switch v {
 	case stack.Continue:
 		c.acceptDelivery(item.m, env, sizes, item.from)
+		// A buffering layer can release a long run at once (an
+		// out-of-order gap closing); each release queues a post op, so
+		// this is where the lazy queue can actually grow without bound.
+		c.boundPending(&c.recv)
 	case stack.Consume:
 		c.stats.Consumed++
 		c.putEnv(env)
@@ -857,6 +946,15 @@ func (c *Conn) Flush() {
 // fragmentation threshold, or splitting it would destroy the packing
 // structure.
 func (c *Conn) kickBacklog() {
+	// §3.1: a pending post op from the previous send must run before the
+	// next PreSend, or the window layer stamps a stale sequence number
+	// (its nextSeq only advances in PostSend) and the peer silently
+	// drops the batch as duplicates. Draining may also fill the window,
+	// so re-check the gate.
+	c.drain(&c.send)
+	if c.send.disable > 0 || len(c.send.backlog) == 0 {
+		return
+	}
 	n := len(c.send.backlog)
 	if n > c.ep.cfg.maxPack() {
 		n = c.ep.cfg.maxPack()
@@ -885,10 +983,12 @@ func (c *Conn) kickBacklog() {
 	}
 	batch := c.send.backlog[:n]
 	c.send.backlog = c.send.backlog[n:]
+	c.wakeBlocked()
 
 	if n == 1 {
 		m := batch[0]
 		_ = c.sendMsg(m, nil)
+		c.boundPending(&c.send)
 		return
 	}
 	c.sizeScratch = c.sizeScratch[:0]
@@ -903,9 +1003,11 @@ func (c *Conn) kickBacklog() {
 	c.stats.PackedBatches++
 	c.stats.PackedMsgs += uint64(n)
 	_ = c.sendMsg(packed, c.sizeScratch)
+	c.boundPending(&c.send)
 }
 
-// Close tears the connection down: timers stopped, routes removed.
+// Close tears the connection down: timers stopped, routes removed,
+// blocked senders released.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -913,6 +1015,7 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.stopSupervision()
 	if c.idleCh != nil {
 		close(c.idleCh)
 	}
@@ -925,8 +1028,13 @@ func (c *Conn) Close() error {
 		m.Free()
 	}
 	c.send.backlog = nil
+	for _, it := range c.deliverQ {
+		it.m.Free()
+	}
+	c.deliverQ = nil
 	c.send.pending, c.send.head = nil, 0
 	c.recv.pending, c.recv.head = nil, 0
+	c.wakeBlocked()
 	c.mu.Unlock()
 	c.ep.removeConn(c)
 	return nil
@@ -956,7 +1064,7 @@ func (c *Conn) Clock() vclock.Clock { return c.ep.cfg.clock() }
 func (c *Conn) AfterFunc(d time.Duration, f func()) vclock.Timer {
 	return c.ep.cfg.clock().AfterFunc(d, func() {
 		c.mu.Lock()
-		if c.closed {
+		if c.closed || c.failCause != nil {
 			c.mu.Unlock()
 			return
 		}
@@ -993,6 +1101,9 @@ func (c *Conn) EnableRecv() {
 func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlOpts) error {
 	if c.closed {
 		return ErrConnClosed
+	}
+	if c.failCause != nil {
+		return c.failCause
 	}
 	m.Push(1)[0] = packSingle
 	gos := m.Push(c.gosN)
@@ -1035,6 +1146,9 @@ func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlO
 func (c *Conn) SendRaw(m *message.Msg, includeConnID bool) error {
 	if c.closed {
 		return ErrConnClosed
+	}
+	if c.failCause != nil {
+		return c.failCause
 	}
 	c.transmitAs(m, includeConnID)
 	c.stats.Retransmits++

@@ -10,6 +10,7 @@ import (
 	"paccel/internal/header"
 	"paccel/internal/message"
 	"paccel/internal/stack"
+	"paccel/internal/vclock"
 )
 
 // ErrCookieCollision is returned by Dial when PeerSpec.ExpectInCookie is
@@ -30,8 +31,19 @@ const cookieShardCount = 64
 // false-share.
 type cookieShard struct {
 	mu sync.RWMutex
-	m  map[uint64]*Conn
+	m  map[uint64]*cookieEntry
 	_  [24]byte // pad to 64 bytes
+}
+
+// cookieEntry is one routed cookie. epoch records the GC epoch at last
+// use; the lookup path refreshes it with one atomic store (no lock, no
+// clock read), and the TTL sweep evicts learned entries whose epoch has
+// fallen behind. Pre-agreed cookies (Dial with ExpectInCookie) are
+// learned=false and never evicted.
+type cookieEntry struct {
+	c       *Conn
+	learned bool
+	epoch   atomic.Uint64
 }
 
 // shardIndex spreads cookies over the shards. Cookies are uniform random
@@ -57,11 +69,21 @@ type Endpoint struct {
 	cfg Config
 
 	closed atomic.Bool
+	// draining refuses new sends while Shutdown runs down the deferred
+	// work (see supervise.go).
+	draining atomic.Bool
 
 	// routeMu serializes routing-table writers; it is never taken on
 	// the pure lookup path.
 	routeMu sync.Mutex
 	conns   map[*Conn]struct{}
+
+	// Cookie-TTL garbage collection (Config.CookieTTL): gcEpoch advances
+	// on every sweep; lookups stamp it into the entry they route through.
+	// gcTimer is guarded by routeMu.
+	gcOn    bool
+	gcEpoch atomic.Uint64
+	gcTimer vclock.Timer
 
 	identMu sync.RWMutex
 	byIdent map[string]*Conn
@@ -92,6 +114,7 @@ type endpointCounters struct {
 	malformed        atomic.Uint64
 	cookiesLearned   atomic.Uint64
 	cookieCollisions atomic.Uint64
+	cookiesEvicted   atomic.Uint64
 }
 
 // EndpointStats is a snapshot of the router counters.
@@ -104,6 +127,7 @@ type EndpointStats struct {
 	Malformed        uint64
 	CookiesLearned   uint64
 	CookieCollisions uint64 // learned or pre-agreed cookie already bound elsewhere
+	CookiesEvicted   uint64 // learned cookies idle past CookieTTL, removed by GC
 }
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to the transport.
@@ -118,13 +142,74 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		singleLock: cfg.SingleLockRouter,
 	}
 	for i := range ep.shards {
-		ep.shards[i].m = make(map[uint64]*Conn)
+		ep.shards[i].m = make(map[uint64]*cookieEntry)
 	}
 	if err := ep.initTemplate(); err != nil {
 		return nil, err
 	}
+	if cfg.CookieTTL > 0 {
+		ep.gcOn = true
+		ep.armCookieGC()
+	}
 	cfg.Transport.SetHandler(ep.onRecv)
 	return ep, nil
+}
+
+// armCookieGC schedules the next TTL sweep. Two sweeps per TTL keep the
+// eviction bound tight (idle between TTL and 1.5×TTL) without scanning
+// the table often.
+func (ep *Endpoint) armCookieGC() {
+	iv := ep.cfg.CookieTTL / 2
+	if iv <= 0 {
+		iv = ep.cfg.CookieTTL
+	}
+	ep.gcTimer = ep.cfg.clock().AfterFunc(iv, ep.cookieGC)
+}
+
+// cookieGC is the TTL sweep: learned-cookie bindings that no datagram
+// has routed through for more than CookieTTL are evicted, bounding
+// router memory under peer churn. A live peer whose binding was evicted
+// recovers on its next identified message, which re-learns the cookie —
+// the paper's §2.2 rule that "unusual" messages carry the identification
+// makes eviction safe.
+func (ep *Endpoint) cookieGC() {
+	if ep.closed.Load() {
+		return
+	}
+	cur := ep.gcEpoch.Add(1)
+	ep.routeMu.Lock()
+	defer ep.routeMu.Unlock()
+	if ep.closed.Load() {
+		return
+	}
+	// An entry stamped at epoch e was last used before sweep e+1; age 3
+	// guarantees at least two full intervals (one TTL) of idleness.
+	if cur >= 3 {
+		for i := range ep.shards {
+			sh := &ep.shards[i]
+			sh.mu.Lock()
+			for cookie, e := range sh.m {
+				if e.learned && cur-e.epoch.Load() >= 3 {
+					delete(sh.m, cookie)
+					dropConnCookie(e.c, cookie)
+					ep.stats.cookiesEvicted.Add(1)
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	ep.armCookieGC()
+}
+
+// dropConnCookie removes one evicted cookie from its connection's
+// bookkeeping. Caller holds routeMu.
+func dropConnCookie(c *Conn, cookie uint64) {
+	for i, k := range c.inCookies {
+		if k == cookie {
+			c.inCookies = append(c.inCookies[:i], c.inCookies[i+1:]...)
+			return
+		}
+	}
 }
 
 // initTemplate builds a throwaway stack to learn the endpoint's uniform
@@ -175,6 +260,7 @@ func (ep *Endpoint) Stats() EndpointStats {
 		Malformed:        ep.stats.malformed.Load(),
 		CookiesLearned:   ep.stats.cookiesLearned.Load(),
 		CookieCollisions: ep.stats.cookieCollisions.Load(),
+		CookiesEvicted:   ep.stats.cookiesEvicted.Load(),
 	}
 }
 
@@ -182,7 +268,9 @@ func (ep *Endpoint) Stats() EndpointStats {
 // paper's ~76 bytes).
 func (ep *Endpoint) IdentSize() int { return ep.identSize }
 
-// lookupCookie routes a cookie to its connection, or nil.
+// lookupCookie routes a cookie to its connection, or nil. With GC on,
+// the hit refreshes the entry's epoch — one relaxed atomic store, still
+// no lock and no clock read on the receive path.
 func (ep *Endpoint) lookupCookie(cookie uint64) *Conn {
 	if ep.singleLock {
 		ep.slMu.Lock()
@@ -190,22 +278,32 @@ func (ep *Endpoint) lookupCookie(cookie uint64) *Conn {
 	}
 	sh := &ep.shards[shardIndex(cookie)]
 	sh.mu.RLock()
-	c := sh.m[cookie]
+	e := sh.m[cookie]
 	sh.mu.RUnlock()
-	return c
+	if e == nil {
+		return nil
+	}
+	if ep.gcOn {
+		e.epoch.Store(ep.gcEpoch.Load())
+	}
+	return e.c
 }
 
 // bindCookie records cookie→c, refusing to steal a binding from a live
-// connection. Caller holds routeMu. Reports whether the binding was made.
-func (ep *Endpoint) bindCookie(cookie uint64, c *Conn) bool {
+// connection. learned marks a binding taken from an identified datagram,
+// subject to TTL eviction; pre-agreed bindings are not. Caller holds
+// routeMu. Reports whether the binding was made.
+func (ep *Endpoint) bindCookie(cookie uint64, c *Conn, learned bool) bool {
 	sh := &ep.shards[shardIndex(cookie)]
 	sh.mu.Lock()
-	if prev, ok := sh.m[cookie]; ok && prev != c {
+	if prev, ok := sh.m[cookie]; ok && prev.c != c {
 		sh.mu.Unlock()
 		ep.stats.cookieCollisions.Add(1)
 		return false
 	}
-	sh.m[cookie] = c
+	e := &cookieEntry{c: c, learned: learned}
+	e.epoch.Store(ep.gcEpoch.Load())
+	sh.m[cookie] = e
 	sh.mu.Unlock()
 	c.inCookies = append(c.inCookies, cookie)
 	return true
@@ -216,7 +314,7 @@ func (ep *Endpoint) unbindCookies(c *Conn) {
 	for _, cookie := range c.inCookies {
 		sh := &ep.shards[shardIndex(cookie)]
 		sh.mu.Lock()
-		if sh.m[cookie] == c {
+		if e, ok := sh.m[cookie]; ok && e.c == c {
 			delete(sh.m, cookie)
 		}
 		sh.mu.Unlock()
@@ -228,7 +326,7 @@ func (ep *Endpoint) unbindCookies(c *Conn) {
 // its routes. The first outgoing message will carry the connection
 // identification (unless the spec pre-agreed cookies).
 func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
-	if ep.closed.Load() {
+	if ep.closed.Load() || ep.draining.Load() {
 		return nil, ErrConnClosed
 	}
 	c, err := newConn(ep, spec)
@@ -246,7 +344,7 @@ func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
 		// to a live connection, rebinding would hijack that
 		// connection's traffic — refuse instead (last-writer-wins was
 		// a silent correctness hole).
-		if !ep.bindCookie(spec.ExpectInCookie&CookieMask, c) {
+		if !ep.bindCookie(spec.ExpectInCookie&CookieMask, c, false) {
 			ep.routeMu.Unlock()
 			c.Close()
 			return nil, ErrCookieCollision
@@ -286,6 +384,12 @@ func (ep *Endpoint) Close() error {
 		return nil
 	}
 	ep.routeMu.Lock()
+	if ep.gcTimer != nil {
+		// The sweep re-arms under routeMu after re-checking closed, so
+		// stopping here is race-free.
+		ep.gcTimer.Stop()
+		ep.gcTimer = nil
+	}
 	conns := make([]*Conn, 0, len(ep.conns))
 	for c := range ep.conns {
 		conns = append(conns, c)
@@ -429,7 +533,7 @@ func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
 	sh.mu.RLock()
 	prev := sh.m[cookie]
 	sh.mu.RUnlock()
-	if prev == c {
+	if prev != nil && prev.c == c {
 		return
 	}
 	if prev != nil {
@@ -439,7 +543,7 @@ func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
 	// Forget this connection's previous cookie, if any (the peer may
 	// have restarted with a fresh cookie).
 	ep.unbindCookies(c)
-	if ep.bindCookie(cookie, c) {
+	if ep.bindCookie(cookie, c, true) {
 		ep.stats.cookiesLearned.Add(1)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"paccel/internal/bits"
 	"paccel/internal/layers"
 	"paccel/internal/stack"
@@ -130,8 +132,38 @@ type Config struct {
 	// PackSameSizeOnly restricts message packing to runs of equal-sized
 	// messages, the paper's current PA. Default false: general packing.
 	PackSameSizeOnly bool
-	// MaxBacklog bounds the send backlog; 0 means 1024.
+	// MaxBacklog bounds the send backlog; 0 means 1024. A send that
+	// finds the window closed and the backlog at the bound returns
+	// ErrBacklogFull (which wraps ErrBackpressure) — or blocks, with
+	// BlockOnBackpressure — instead of growing memory without limit.
 	MaxBacklog int
+	// BlockOnBackpressure makes Send block until backlog space frees
+	// (or the connection closes or fails) instead of returning
+	// ErrBacklogFull.
+	BlockOnBackpressure bool
+	// MaxPendingPost bounds each direction's deferred post-processing
+	// queue under LazyPost; past the bound the engine degrades to
+	// draining inline (counted in ConnStats.PostOverflows) rather than
+	// deferring without limit. 0 means 4096.
+	MaxPendingPost int
+	// PeerTimeout enables dead-peer detection: a connection that hears
+	// nothing from its peer for a full PeerTimeout interval moves to the
+	// Failed state with ErrPeerSilent, surfaced via OnConnFail and the
+	// Conn State/Err API. Detection costs one counter increment per
+	// delivery and one timer per connection; latency is between one and
+	// two intervals. 0 disables.
+	PeerTimeout time.Duration
+	// OnConnFail observes every connection entering the Failed state,
+	// with the failure cause. It runs without the connection lock, so it
+	// may use the Conn API (typically to Close it).
+	OnConnFail func(*Conn, error)
+	// CookieTTL enables garbage collection of learned cookie routes: a
+	// learned binding idle for more than the TTL (at most 1.5×TTL) is
+	// evicted from the router (EndpointStats.CookiesEvicted), bounding
+	// router memory under peer churn. A live peer recovers on its next
+	// identified message, which re-learns the cookie (§2.2). Pre-agreed
+	// cookies (PeerSpec.ExpectInCookie) are never evicted. 0 disables.
+	CookieTTL time.Duration
 	// MaxPack bounds how many messages one packed message may carry;
 	// 0 means 64.
 	MaxPack int
@@ -161,6 +193,13 @@ func (c *Config) maxBacklog() int {
 		return 1024
 	}
 	return c.MaxBacklog
+}
+
+func (c *Config) maxPendingPost() int {
+	if c.MaxPendingPost <= 0 {
+		return 4096
+	}
+	return c.MaxPendingPost
 }
 
 func (c *Config) maxPack() int {
@@ -217,10 +256,11 @@ type ConnStats struct {
 	Consumed     uint64 // absorbed by a layer (acks, fragments, keepalives)
 	Dropped      uint64 // filter or layer verdicts
 
-	ConnIDSent  uint64 // messages that carried the identification
-	PostRuns    uint64 // post-processing tasks executed
-	ControlMsgs uint64 // layer-generated messages transmitted
-	Retransmits uint64 // raw retransmissions
+	ConnIDSent    uint64 // messages that carried the identification
+	PostRuns      uint64 // post-processing tasks executed
+	PostOverflows uint64 // lazy post queue hit MaxPendingPost; drained inline
+	ControlMsgs   uint64 // layer-generated messages transmitted
+	Retransmits   uint64 // raw retransmissions
 
 	SendErrors uint64
 }

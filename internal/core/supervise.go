@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Connection supervision: the paper leaves connection lifecycle
+// unspecified ("in our experiments no message loss was observed"), so
+// this file adds the minimum a production endpoint needs — a terminal
+// Failed state with a typed cause, dead-peer detection driven by traffic
+// silence, and an endpoint Shutdown that drains the deferred work the
+// lazy post-processing optimisation (§3.1) leaves behind.
+
+// Supervision errors. ErrConnFailed wraps every failure cause, so
+// errors.Is(err, ErrConnFailed) matches any failed connection and the
+// specific cause (ErrPeerSilent, a heartbeat report, an application
+// error) stays matchable through the wrap.
+var (
+	// ErrConnFailed reports operations on a connection in the Failed
+	// state.
+	ErrConnFailed = errors.New("core: connection failed")
+	// ErrPeerSilent is the failure cause assigned by dead-peer
+	// detection (Config.PeerTimeout).
+	ErrPeerSilent = errors.New("core: peer silent")
+)
+
+// ConnState is a connection's lifecycle state.
+type ConnState uint8
+
+// Connection lifecycle. Active → Failed is driven by supervision or an
+// explicit Fail; both Active and Failed reach Closed via Close. Failed is
+// terminal short of Close: sends and deliveries are refused with the
+// stored cause, but the connection keeps its routes and counters for
+// inspection until the application closes it.
+const (
+	StateActive ConnState = iota
+	StateFailed
+	StateClosed
+)
+
+// String names the state.
+func (s ConnState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateFailed:
+		return "failed"
+	case StateClosed:
+		return "closed"
+	}
+	return "?"
+}
+
+// State returns the connection's lifecycle state.
+func (c *Conn) State() ConnState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.closed:
+		return StateClosed
+	case c.failCause != nil:
+		return StateFailed
+	}
+	return StateActive
+}
+
+// Err returns the failure cause once the connection is Failed, nil
+// otherwise. The cause wraps ErrConnFailed.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failCause
+}
+
+// Fail moves the connection to the Failed state with the given cause:
+// pending post-processing is run (layer state must settle before the
+// layers shut down), layer timers are stopped, the backlog and queued
+// deliveries are freed, and blocked senders are released with the stored
+// error. Subsequent sends return the cause; late datagrams are dropped
+// and counted. The connection keeps its routes until Close. Fail is
+// idempotent and a no-op on a closed connection.
+func (c *Conn) Fail(cause error) {
+	c.mu.Lock()
+	if c.closed || c.failCause != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.drain(&c.recv)
+	c.drain(&c.send)
+	if cause == nil {
+		c.failCause = ErrConnFailed
+	} else {
+		c.failCause = fmt.Errorf("%w: %w", ErrConnFailed, cause)
+	}
+	c.stopSupervision()
+	for _, l := range c.st.Layers() {
+		if cl, ok := l.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+	for _, m := range c.send.backlog {
+		m.Free()
+	}
+	c.send.backlog = nil
+	for _, it := range c.deliverQ {
+		it.m.Free()
+	}
+	c.deliverQ = nil
+	c.wakeBlocked()
+	cb := c.ep.cfg.OnConnFail
+	err := c.failCause
+	c.mu.Unlock()
+	// The drained post-processing may have queued transmissions (acks,
+	// retransmits); push them out before reporting the failure.
+	c.flushTx()
+	if cb != nil {
+		cb(c, err)
+	}
+}
+
+// startSupervision arms dead-peer detection when Config.PeerTimeout is
+// set. The timer fires every PeerTimeout and compares the delivery
+// activity counter against the previous tick: a full interval with no
+// incoming traffic fails the connection with ErrPeerSilent, so detection
+// latency is between one and two intervals.
+func (c *Conn) startSupervision() {
+	if c.ep.cfg.PeerTimeout <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.superSeen = c.recvActivity
+	c.superTimer = c.ep.cfg.clock().AfterFunc(c.ep.cfg.PeerTimeout, c.superviseTick)
+	c.mu.Unlock()
+}
+
+func (c *Conn) superviseTick() {
+	c.mu.Lock()
+	if c.closed || c.failCause != nil {
+		c.mu.Unlock()
+		return
+	}
+	if c.recvActivity == c.superSeen {
+		quiet := c.ep.cfg.PeerTimeout
+		c.superTimer = nil
+		c.mu.Unlock()
+		c.Fail(fmt.Errorf("%w: no traffic for at least %v", ErrPeerSilent, quiet))
+		return
+	}
+	c.superSeen = c.recvActivity
+	c.superTimer = c.ep.cfg.clock().AfterFunc(c.ep.cfg.PeerTimeout, c.superviseTick)
+	c.mu.Unlock()
+}
+
+// stopSupervision cancels the dead-peer timer. Caller holds c.mu.
+func (c *Conn) stopSupervision() {
+	if c.superTimer != nil {
+		c.superTimer.Stop()
+		c.superTimer = nil
+	}
+}
+
+// drained reports whether the connection holds no deferred work: no
+// pending post-processing on either side, no packed backlog, no queued
+// deliveries or application callbacks, and no un-flushed transmissions.
+func (c *Conn) drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.send.pendingLen() == 0 && c.recv.pendingLen() == 0 &&
+		len(c.send.backlog) == 0 && len(c.deliverQ) == 0 &&
+		len(c.appQ) == 0 && c.txPending.Load() == 0
+}
+
+// Shutdown drains the endpoint before closing it. New sends are refused
+// (ErrConnClosed) from the moment Shutdown is called; receives continue,
+// so peers' acknowledgements can still open the window for backlogged
+// messages. Every connection's deferred post-processing, packed backlog,
+// and transmit queue are run to completion, and only then are the
+// connections and the transport closed — the lazy post-processing
+// guarantee (§3.1) holds through termination. If ctx expires first the
+// endpoint is closed anyway (without the drain guarantee) and ctx.Err()
+// is returned.
+func (ep *Endpoint) Shutdown(ctx context.Context) error {
+	if ep.closed.Load() {
+		return nil
+	}
+	ep.draining.Store(true)
+	for {
+		ep.routeMu.Lock()
+		conns := make([]*Conn, 0, len(ep.conns))
+		for c := range ep.conns {
+			conns = append(conns, c)
+		}
+		ep.routeMu.Unlock()
+		dirty := false
+		for _, c := range conns {
+			c.Flush()
+			if !c.drained() {
+				dirty = true
+			}
+		}
+		if !dirty {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			ep.Close()
+			return ctx.Err()
+		default:
+		}
+		// Deferred work that Flush cannot finish needs the peer (window
+		// acknowledgements for the backlog); poll briefly.
+		time.Sleep(50 * time.Microsecond)
+	}
+	return ep.Close()
+}

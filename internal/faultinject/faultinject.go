@@ -1,0 +1,488 @@
+// Package faultinject is a deterministic fault-injecting middleware for
+// the engine's Transport contract. It wraps any transport — the simulated
+// network and the real UDP socket alike — and applies a programmable
+// fault plan to the datagrams crossing it: drop, duplicate, delay,
+// truncate, bit-flip corrupt, stall (hold until released), and partition.
+//
+// Faults are selected by match rules evaluated in plan order against each
+// datagram's direction, peer, and per-rule sequence number; the first rule
+// that matches and fires wins, so a plan reads like a schedule ("drop the
+// 3rd send", "corrupt 10% of receives from B"). All randomness comes from
+// one seeded generator drawn under one lock in arrival order, so a plan
+// replays identically for a given seed and traffic sequence.
+//
+// Buffer ownership follows the Transport contract: datagrams handed to
+// the receive handler are borrowed for the duration of the call, and Send
+// data is the caller's again once Send returns. The injector therefore
+// never mutates a buffer it does not own — corruption and any fault that
+// outlives the call (delay, stall) operate on a private copy.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"paccel/internal/vclock"
+)
+
+// ErrClosed is returned by Send on a closed injector.
+var ErrClosed = errors.New("faultinject: transport closed")
+
+// Inner is the transport contract the injector wraps and itself
+// implements. It is structurally identical to core.Transport but declared
+// locally so the engine's own tests can compose the injector without an
+// import cycle; the facade asserts the equivalence.
+type Inner interface {
+	Send(dst string, datagram []byte) error
+	SetHandler(h func(src string, datagram []byte))
+	LocalAddr() string
+	Close() error
+}
+
+// Direction selects which way through the transport a rule applies.
+type Direction uint8
+
+// Directions. The zero value of Rule.Direction means Both.
+const (
+	Send Direction = 1 << iota
+	Recv
+	Both = Send | Recv
+)
+
+// Kind is the fault a rule injects.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// Drop discards the datagram.
+	Drop Kind = iota
+	// Duplicate delivers/sends the datagram twice, back to back.
+	Duplicate
+	// Delay holds a copy of the datagram for Rule.Delay before it
+	// proceeds; other traffic overtakes it (reordering).
+	Delay
+	// Truncate cuts the datagram to Rule.TruncateTo bytes (half its
+	// length if zero), simulating a short read or a cut-through error.
+	Truncate
+	// Corrupt XORs Rule.BitMask (a random single bit if zero) into the
+	// byte at Rule.Offset of a private copy of the datagram.
+	Corrupt
+	// Stall holds the datagram until ReleaseStalled, preserving order
+	// among stalled datagrams — a freeze, not a loss.
+	Stall
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Delay:
+		return "delay"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	}
+	return "?"
+}
+
+// Rule is one entry of a fault plan. A rule matches a datagram when its
+// Direction and Peer select it; it then fires when the sequence and rate
+// conditions all hold:
+//
+//   - Nth, if non-zero, fires only on the Nth matching datagram (1-based);
+//   - Every, if non-zero, fires on every Every-th matching datagram;
+//   - Rate, if non-zero, fires with that probability (seeded rng);
+//   - Count, if non-zero, caps how many times the rule fires in total.
+//
+// A rule with none of Nth/Every/Rate set fires on every match. Rules are
+// evaluated in plan order and the first rule that fires claims the
+// datagram; rules earlier in the plan that matched without firing still
+// count it toward their sequence, rules after the firing one never see it.
+type Rule struct {
+	Kind      Kind
+	Direction Direction // zero means Both
+	Peer      string    // match only this peer (dst on send, src on recv); "" is any
+
+	Nth   uint64
+	Every uint64
+	Rate  float64
+	Count uint64
+
+	// Offset is the byte Corrupt flips (negative counts from the end,
+	// -1 the last byte) and the position Truncate cuts at when
+	// TruncateTo is zero. Out-of-range offsets clamp to the last byte.
+	Offset int
+	// BitMask is XORed into the corrupted byte; zero picks one random bit.
+	BitMask byte
+	// TruncateTo is the length Truncate keeps; zero keeps half.
+	TruncateTo int
+	// Delay is how long a Delay rule holds the datagram.
+	Delay time.Duration
+}
+
+// Stats counts what the injector did, per fault kind, plus the traffic
+// that crossed it.
+type Stats struct {
+	Sent     uint64 // datagrams entering the send side
+	Received uint64 // datagrams entering the receive side
+
+	Dropped          uint64
+	Duplicated       uint64
+	Delayed          uint64
+	Truncated        uint64
+	Corrupted        uint64
+	Stalled          uint64
+	PartitionDropped uint64
+}
+
+// ruleState is a Rule plus its live counters, guarded by Transport.mu.
+type ruleState struct {
+	Rule
+	seen  uint64 // matching datagrams observed
+	fired uint64 // times the rule claimed a datagram
+}
+
+// action is a fault decision made under the lock and executed outside it.
+type action struct {
+	kind    Kind
+	fired   bool
+	bitMask byte // resolved Corrupt mask
+	offset  int  // resolved Corrupt/Truncate offset
+	keep    int  // resolved Truncate length
+	delay   time.Duration
+}
+
+// stalledDatagram is one held datagram, an owned copy.
+type stalledDatagram struct {
+	send bool
+	peer string // dst for sends, src for receives
+	data []byte
+}
+
+// Transport wraps an inner transport with the fault plan. It is itself a
+// core.Transport, so endpoints compose over it unchanged.
+type Transport struct {
+	inner Inner
+	clock vclock.Clock
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	rules       []*ruleState
+	partitioned map[string]bool
+	allDown     bool
+	stalled     []stalledDatagram
+	handler     func(src string, datagram []byte)
+	closed      bool
+	stats       Stats
+}
+
+// New wraps inner with the given fault plan. The clock schedules Delay
+// faults; nil means the real clock. A zero seed selects a fixed default,
+// so plans are reproducible unless explicitly varied.
+func New(inner Inner, clock vclock.Clock, seed int64, rules ...Rule) *Transport {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	if seed == 0 {
+		seed = 1996
+	}
+	t := &Transport{
+		inner:       inner,
+		clock:       clock,
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: make(map[string]bool),
+	}
+	for _, r := range rules {
+		t.rules = append(t.rules, &ruleState{Rule: r})
+	}
+	inner.SetHandler(t.onRecv)
+	return t
+}
+
+// AddRule appends a rule to the plan at runtime.
+func (t *Transport) AddRule(r Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, &ruleState{Rule: r})
+}
+
+// SetPartitioned cuts (or heals) both directions to one peer.
+func (t *Transport) SetPartitioned(peer string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitioned[peer] = down
+}
+
+// PartitionAll cuts (or heals) both directions to every peer.
+func (t *Transport) PartitionAll(down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.allDown = down
+}
+
+// Stats returns a snapshot of the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// RuleFired reports how many times rule i (plan order) claimed a datagram.
+func (t *Transport) RuleFired(i int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.rules) {
+		return 0
+	}
+	return t.rules[i].fired
+}
+
+// ReleaseStalled forwards every stalled datagram, in the order they were
+// held, and reports how many it released. Released sends go to the inner
+// transport; released receives go to the handler.
+func (t *Transport) ReleaseStalled() int {
+	t.mu.Lock()
+	q := t.stalled
+	t.stalled = nil
+	h := t.handler
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return 0
+	}
+	for _, s := range q {
+		if s.send {
+			_ = t.inner.Send(s.peer, s.data)
+		} else if h != nil {
+			h(s.peer, s.data)
+		}
+	}
+	return len(q)
+}
+
+// StalledCount reports how many datagrams are currently held.
+func (t *Transport) StalledCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stalled)
+}
+
+// decide evaluates the plan for one datagram under t.mu and returns the
+// fault to apply, if any. All rng draws happen here, in arrival order.
+func (t *Transport) decide(dir Direction, peer string, size int) action {
+	if t.allDown || t.partitioned[peer] {
+		t.stats.PartitionDropped++
+		return action{kind: Drop, fired: true}
+	}
+	for _, r := range t.rules {
+		d := r.Direction
+		if d == 0 {
+			d = Both
+		}
+		if d&dir == 0 || (r.Peer != "" && r.Peer != peer) {
+			continue
+		}
+		r.seen++
+		if r.Nth != 0 && r.seen != r.Nth {
+			continue
+		}
+		if r.Every != 0 && r.seen%r.Every != 0 {
+			continue
+		}
+		if r.Rate != 0 && t.rng.Float64() >= r.Rate {
+			continue
+		}
+		if r.Count != 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		a := action{kind: r.Kind, fired: true, delay: r.Delay}
+		switch r.Kind {
+		case Corrupt:
+			a.offset = clampOffset(r.Offset, size)
+			a.bitMask = r.BitMask
+			if a.bitMask == 0 {
+				a.bitMask = 1 << t.rng.Intn(8)
+			}
+			t.stats.Corrupted++
+		case Truncate:
+			a.keep = r.TruncateTo
+			if a.keep == 0 {
+				a.keep = size / 2
+			}
+			if a.keep > size {
+				a.keep = size
+			}
+			t.stats.Truncated++
+		case Drop:
+			t.stats.Dropped++
+		case Duplicate:
+			t.stats.Duplicated++
+		case Delay:
+			t.stats.Delayed++
+		case Stall:
+			t.stats.Stalled++
+		}
+		return a
+	}
+	return action{}
+}
+
+// clampOffset resolves a possibly-negative byte offset against size.
+func clampOffset(off, size int) int {
+	if off < 0 {
+		off += size
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off >= size {
+		off = size - 1
+	}
+	return off
+}
+
+// Send implements core.Transport: the datagram runs through the fault
+// plan on its way to the inner transport.
+func (t *Transport) Send(dst string, datagram []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.stats.Sent++
+	a := t.decide(Send, dst, len(datagram))
+	if a.kind == Stall && a.fired {
+		t.stalled = append(t.stalled, stalledDatagram{
+			send: true, peer: dst, data: append([]byte(nil), datagram...),
+		})
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+
+	if !a.fired {
+		return t.inner.Send(dst, datagram)
+	}
+	switch a.kind {
+	case Drop:
+		return nil
+	case Duplicate:
+		if err := t.inner.Send(dst, datagram); err != nil {
+			return err
+		}
+		return t.inner.Send(dst, datagram)
+	case Delay:
+		// The caller owns datagram once Send returns; hold a copy.
+		cp := append([]byte(nil), datagram...)
+		t.clock.AfterFunc(a.delay, func() {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if !closed {
+				_ = t.inner.Send(dst, cp)
+			}
+		})
+		return nil
+	case Truncate:
+		// A shorter prefix of the caller's buffer: no mutation, no copy.
+		return t.inner.Send(dst, datagram[:a.keep])
+	case Corrupt:
+		if len(datagram) == 0 {
+			return t.inner.Send(dst, datagram)
+		}
+		cp := append([]byte(nil), datagram...)
+		cp[a.offset] ^= a.bitMask
+		return t.inner.Send(dst, cp)
+	}
+	return t.inner.Send(dst, datagram)
+}
+
+// onRecv runs incoming datagrams through the fault plan before the
+// installed handler sees them.
+func (t *Transport) onRecv(src string, datagram []byte) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.stats.Received++
+	a := t.decide(Recv, src, len(datagram))
+	if a.kind == Stall && a.fired {
+		// The receive buffer is borrowed; stalling must copy it.
+		t.stalled = append(t.stalled, stalledDatagram{
+			send: false, peer: src, data: append([]byte(nil), datagram...),
+		})
+		t.mu.Unlock()
+		return
+	}
+	h := t.handler
+	t.mu.Unlock()
+	if h == nil {
+		return
+	}
+
+	if !a.fired {
+		h(src, datagram)
+		return
+	}
+	switch a.kind {
+	case Drop:
+		return
+	case Duplicate:
+		h(src, datagram)
+		h(src, datagram)
+	case Delay:
+		cp := append([]byte(nil), datagram...)
+		t.clock.AfterFunc(a.delay, func() {
+			t.mu.Lock()
+			hh := t.handler
+			closed := t.closed
+			t.mu.Unlock()
+			if !closed && hh != nil {
+				hh(src, cp)
+			}
+		})
+	case Truncate:
+		h(src, datagram[:a.keep])
+	case Corrupt:
+		if len(datagram) == 0 {
+			h(src, datagram)
+			return
+		}
+		// Never flip a bit in the transport's borrowed receive buffer.
+		cp := append([]byte(nil), datagram...)
+		cp[a.offset] ^= a.bitMask
+		h(src, cp)
+	default:
+		h(src, datagram)
+	}
+}
+
+// SetHandler implements core.Transport.
+func (t *Transport) SetHandler(h func(src string, datagram []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// LocalAddr implements core.Transport.
+func (t *Transport) LocalAddr() string { return t.inner.LocalAddr() }
+
+// Close implements core.Transport: stalled datagrams are discarded and
+// pending delayed deliveries become no-ops.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.stalled = nil
+	t.mu.Unlock()
+	return t.inner.Close()
+}

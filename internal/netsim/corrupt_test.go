@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+
+	"paccel/internal/vclock"
+)
+
+func TestCorruptionFlipsOneBitOfLastByte(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n := New(clk, Config{CorruptRate: 1})
+	a := n.Endpoint("a")
+	var cap capture
+	n.Endpoint("b").SetHandler(cap.handler(clk))
+	orig := []byte{0x10, 0x20, 0x30}
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", orig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corruption delivers damaged frames; it never drops them.
+	if cap.count() != 5 {
+		t.Fatalf("delivered %d, want 5", cap.count())
+	}
+	for i, got := range cap.got {
+		if !bytes.Equal(got[:2], orig[:2]) {
+			t.Fatalf("frame %d: prefix damaged: %v", i, got)
+		}
+		if diff := got[2] ^ orig[2]; bits.OnesCount8(diff) != 1 {
+			t.Fatalf("frame %d: last byte %#x, want exactly one flipped bit vs %#x", i, got[2], orig[2])
+		}
+	}
+	if st := n.Stats(); st.Corrupted != 5 {
+		t.Fatalf("Corrupted = %d", st.Corrupted)
+	}
+	// The sender's buffer is never touched: the flip lands in the
+	// in-flight copy.
+	if !bytes.Equal(orig, []byte{0x10, 0x20, 0x30}) {
+		t.Fatalf("sender's buffer mutated: %v", orig)
+	}
+}
+
+func TestCorruptionIsDeterministicUnderSeed(t *testing.T) {
+	run := func() (uint64, [][]byte) {
+		clk := vclock.NewManual(t0)
+		n := New(clk, Config{CorruptRate: 0.5, Seed: 11})
+		a := n.Endpoint("a")
+		var cap capture
+		n.Endpoint("b").SetHandler(cap.handler(clk))
+		for i := 0; i < 100; i++ {
+			if err := a.Send("b", []byte{byte(i), 0xFF}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n.Stats().Corrupted, cap.got
+	}
+	c1, got1 := run()
+	c2, got2 := run()
+	if c1 != c2 {
+		t.Fatalf("non-deterministic corruption count: %d vs %d", c1, c2)
+	}
+	if c1 == 0 || c1 == 100 {
+		t.Fatalf("corrupted = %d, want partial", c1)
+	}
+	for i := range got1 {
+		if !bytes.Equal(got1[i], got2[i]) {
+			t.Fatalf("frame %d differs across identical seeds: %v vs %v", i, got1[i], got2[i])
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // The simulated network delivers datagrams between endpoints with
 // configurable one-way latency, jitter, bit rate (serialization delay),
-// loss, duplication, and reordering. Under a vclock.Manual clock and a
+// loss, duplication, reordering, and bit-flip corruption. Under a vclock.Manual clock and a
 // fixed seed, behaviour is fully deterministic, which the protocol tests
 // rely on. With zero latency, delivery is synchronous in Send, which the
 // benchmarks rely on.
@@ -24,6 +24,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,13 @@ type Config struct {
 	LossRate    float64
 	DupRate     float64
 	ReorderRate float64
+	// CorruptRate is the per-copy probability of a bit-flip: one random
+	// bit of the datagram's last byte is inverted in the in-flight copy
+	// (the sender's buffer is never touched). The flip lands in the
+	// frame's trailing payload bytes, so the routing preamble stays
+	// intact and the corruption must be caught by the stack's own
+	// integrity check, not by a router parse failure.
+	CorruptRate float64
 	// MTU is the maximum datagram size; 0 means DefaultMTU.
 	MTU int
 	// Seed makes fault injection reproducible; 0 means a fixed default.
@@ -85,14 +93,14 @@ func PaperConfig() Config {
 
 // Stats counts network-level events.
 type Stats struct {
-	Sent, Delivered, Lost, Duplicated, Reordered uint64
-	BytesSent                                    uint64
+	Sent, Delivered, Lost, Duplicated, Reordered, Corrupted uint64
+	BytesSent                                               uint64
 }
 
 // netStats are the live counters, atomics so the send path never takes a
 // network-wide lock just to account for a datagram.
 type netStats struct {
-	sent, delivered, lost, duplicated, reordered, bytesSent atomic.Uint64
+	sent, delivered, lost, duplicated, reordered, corrupted, bytesSent atomic.Uint64
 }
 
 // Network is a simulated datagram network.
@@ -113,6 +121,11 @@ type Network struct {
 	rng     *rand.Rand
 	links   map[link]*linkState
 
+	// corruptBits is the live corruption rate (math.Float64bits), kept
+	// outside cfg so fault schedules can damage and heal the network at
+	// runtime without racing the lock-free send path.
+	corruptBits atomic.Uint64
+
 	seq   atomic.Uint64
 	stats netStats
 }
@@ -130,7 +143,7 @@ func New(clock vclock.Clock, cfg Config) *Network {
 	if seed == 0 {
 		seed = 1996
 	}
-	return &Network{
+	nw := &Network{
 		clock: clock,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(seed)),
@@ -138,6 +151,19 @@ func New(clock vclock.Clock, cfg Config) *Network {
 		links: make(map[link]*linkState),
 		down:  make(map[link]bool),
 	}
+	nw.corruptBits.Store(math.Float64bits(cfg.CorruptRate))
+	return nw
+}
+
+// corruptRate returns the live corruption probability.
+func (n *Network) corruptRate() float64 {
+	return math.Float64frombits(n.corruptBits.Load())
+}
+
+// SetCorruptRate changes the bit-flip corruption probability at runtime
+// (fault schedules damage and heal the network mid-run).
+func (n *Network) SetCorruptRate(rate float64) {
+	n.corruptBits.Store(math.Float64bits(rate))
 }
 
 // Stats returns a snapshot of the network counters.
@@ -148,6 +174,7 @@ func (n *Network) Stats() Stats {
 		Lost:       n.stats.lost.Load(),
 		Duplicated: n.stats.duplicated.Load(),
 		Reordered:  n.stats.reordered.Load(),
+		Corrupted:  n.stats.corrupted.Load(),
 		BytesSent:  n.stats.bytesSent.Load(),
 	}
 }
@@ -250,7 +277,8 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 		return nil
 	}
 
-	if n.cfg.perfect() {
+	corruptRate := n.corruptRate()
+	if n.cfg.perfect() && corruptRate == 0 {
 		// Perfect instantaneous network: no rng draws, no timers, no
 		// network-wide exclusive lock — deliver synchronously.
 		target.deliver(delivery{
@@ -260,10 +288,11 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 	}
 
 	// Fault-injecting / delaying path. The rng draw order per message
-	// (loss, dup, then per-copy jitter and reorder) is part of the
-	// deterministic-replay contract; keep it stable under one lock.
+	// (loss, dup, then per-copy jitter, reorder, and corruption) is part
+	// of the deterministic-replay contract; keep it stable under one lock.
 	now := n.clock.Now()
 	var arrivals [2]time.Time
+	flips := [2]int{-1, -1}
 	copies := 1
 	n.faultMu.Lock()
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
@@ -283,6 +312,10 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 		if n.cfg.ReorderRate > 0 && n.rng.Float64() < n.cfg.ReorderRate {
 			delay += n.cfg.Latency + time.Duration(n.rng.Int63n(int64(n.cfg.Latency)+1))
 			n.stats.reordered.Add(1)
+		}
+		if corruptRate > 0 && n.rng.Float64() < corruptRate {
+			flips[c] = n.rng.Intn(8)
+			n.stats.corrupted.Add(1)
 		}
 		arrival := now.Add(delay)
 		if n.cfg.BitRate > 0 {
@@ -306,8 +339,14 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 
 	for c := 0; c < copies; c++ {
 		arrival := arrivals[c]
+		data := copyToPooled(datagram)
+		if flips[c] >= 0 && len(*data) > 0 {
+			// Corrupt the in-flight copy only: the caller owns datagram
+			// again after Send returns and must get it back unmodified.
+			(*data)[len(*data)-1] ^= 1 << flips[c]
+		}
 		d := delivery{
-			src: e.addr, data: copyToPooled(datagram),
+			src: e.addr, data: data,
 			arrival: arrival, seq: n.seq.Add(1),
 		}
 		if arrival.After(now) {

@@ -44,6 +44,7 @@ import (
 
 	"paccel/internal/bits"
 	"paccel/internal/core"
+	"paccel/internal/faultinject"
 	"paccel/internal/group"
 	"paccel/internal/layers"
 	"paccel/internal/netsim"
@@ -88,11 +89,22 @@ type (
 
 // Errors surfaced by connections.
 var (
+	// ErrBackpressure is the category every send-overload error wraps;
+	// errors.Is(err, ErrBackpressure) matches any of them.
+	ErrBackpressure = core.ErrBackpressure
 	// ErrBacklogFull reports send backpressure: the window is closed
-	// and the backlog is at capacity. Retry after a pause.
+	// and the backlog is at capacity. Retry after a pause (or set
+	// Config.BlockOnBackpressure to block instead). Wraps
+	// ErrBackpressure.
 	ErrBacklogFull = core.ErrBacklogFull
 	// ErrConnClosed reports operations on a closed connection.
 	ErrConnClosed = core.ErrConnClosed
+	// ErrConnFailed wraps every cause that moves a connection to the
+	// Failed state (supervision, Conn.Fail).
+	ErrConnFailed = core.ErrConnFailed
+	// ErrPeerSilent is the failure cause assigned by dead-peer detection
+	// (Config.PeerTimeout). Wrapped by ErrConnFailed.
+	ErrPeerSilent = core.ErrPeerSilent
 	// ErrCookieCollision reports a Dial whose pre-agreed incoming cookie
 	// is already routed to a live connection.
 	ErrCookieCollision = core.ErrCookieCollision
@@ -101,6 +113,64 @@ var (
 	// splits messages well below it.
 	ErrDatagramTooLarge = udp.ErrDatagramTooLarge
 )
+
+// ConnState is a connection's lifecycle state (Conn.State).
+type ConnState = core.ConnState
+
+// Connection lifecycle states.
+const (
+	// StateActive is a healthy connection.
+	StateActive = core.StateActive
+	// StateFailed is a connection whose supervision (or Fail call)
+	// declared it dead; Conn.Err holds the cause.
+	StateFailed = core.StateFailed
+	// StateClosed is a connection after Close.
+	StateClosed = core.StateClosed
+)
+
+// Fault injection (internal/faultinject): a deterministic, seedable
+// transport middleware for testing protocol robustness. Compose it over
+// any Transport — the simulated network or real UDP.
+type (
+	// FaultTransport wraps a Transport with a programmable fault plan.
+	FaultTransport = faultinject.Transport
+	// FaultRule is one match-and-act entry of the plan.
+	FaultRule = faultinject.Rule
+	// FaultKind selects a rule's action.
+	FaultKind = faultinject.Kind
+	// FaultDirection selects which datagrams a rule inspects.
+	FaultDirection = faultinject.Direction
+	// FaultStats counts datagrams per applied fault.
+	FaultStats = faultinject.Stats
+)
+
+// Fault kinds.
+const (
+	FaultDrop      = faultinject.Drop
+	FaultDuplicate = faultinject.Duplicate
+	FaultDelay     = faultinject.Delay
+	FaultTruncate  = faultinject.Truncate
+	FaultCorrupt   = faultinject.Corrupt
+	FaultStall     = faultinject.Stall
+)
+
+// Fault rule directions.
+const (
+	FaultDirSend = faultinject.Send
+	FaultDirRecv = faultinject.Recv
+	FaultDirBoth = faultinject.Both
+)
+
+// NewFaultTransport wraps inner with a deterministic fault plan on the
+// real clock (tests that need virtual time use faultinject.New with a
+// manual clock directly). Seed 0 means a fixed default.
+func NewFaultTransport(inner Transport, seed int64, rules ...FaultRule) *FaultTransport {
+	return faultinject.New(inner, vclock.Real{}, seed, rules...)
+}
+
+// The fault injector's locally declared transport interface must remain
+// structurally identical to the engine's Transport contract.
+var _ Transport = (*FaultTransport)(nil)
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to a transport.
 func NewEndpoint(cfg Config) (*Endpoint, error) { return core.NewEndpoint(cfg) }
