@@ -22,9 +22,15 @@
 // latency per schedule; -json writes its machine-readable baseline
 // (BENCH_2.json), and -seed pins the fault schedule.
 //
+// The recovery experiment drives the self-healing machinery through
+// deterministic failover schedules — kill-and-heal partitions, NAT-style
+// address flips, endpoint restarts, and an exhausted retry budget —
+// checking exactly-once delivery and route migration without a new Dial;
+// -json writes its baseline (BENCH_3.json), and -seed pins the schedule.
+//
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -36,12 +42,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency or faults: also write the machine-readable baseline to this file")
-	seed := flag.Int64("seed", 0, "with -exp faults: fault-schedule seed (0 = fixed default)")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, or recovery: also write the machine-readable baseline to this file")
+	seed := flag.Int64("seed", 0, "with -exp faults or recovery: schedule seed (0 = fixed default)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -116,6 +122,10 @@ func main() {
 		any = true
 		faults(*quick, *seed, *jsonPath)
 	}
+	if run("recovery") {
+		any = true
+		recovery(*quick, *seed, *jsonPath)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -125,7 +135,7 @@ func main() {
 
 func concurrency(quick bool, jsonPath string) {
 	res, err := experiments.Concurrency(quick)
-		fail(err)
+	fail(err)
 	fmt.Println(experiments.ConcurrencyReport(res))
 	if jsonPath != "" {
 		out, err := experiments.ConcurrencyJSON(res)
@@ -140,6 +150,17 @@ func faults(quick bool, seed int64, jsonPath string) {
 	fmt.Println(experiments.FaultsReport(res))
 	if jsonPath != "" {
 		out, err := experiments.FaultsJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func recovery(quick bool, seed int64, jsonPath string) {
+	res, err := experiments.Recovery(quick, seed)
+	fail(err)
+	fmt.Println(experiments.RecoveryReport(res))
+	if jsonPath != "" {
+		out, err := experiments.RecoveryJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -122,9 +123,19 @@ type Conn struct {
 
 	mu sync.Mutex
 
+	// addr is the peer's current transport address. It starts as
+	// spec.Addr and is rewritten by peer address migration when an
+	// ident-validated datagram arrives from elsewhere (NAT rebind);
+	// guarded by mu (spec.Addr keeps the original for reference).
+	addr string
+
 	st     *stack.Stack
 	schema *header.Schema
 	ident  Identifier
+	// identIdx is the identification layer's stack index; delivery
+	// verdicts issued above it (at < identIdx) passed identification,
+	// the safety gate for address migration.
+	identIdx int
 
 	order                    bits.ByteOrder
 	protoN, msgN, gosN, cidN int
@@ -150,7 +161,7 @@ type Conn struct {
 	txBusy    atomic.Bool
 	txPending atomic.Int64 // queued wire images; flushTx's lock-free fast exit
 
-	envFree     []*filter.Env   // filter environment pool
+	envFree     []*filter.Env    // filter environment pool
 	ctxFree     []*stack.Context // phase context pool
 	packScratch []byte           // packing header encode scratch
 	sizeScratch []int            // packed sub-size scratch
@@ -167,6 +178,15 @@ type Conn struct {
 	// failCause is non-nil once the connection entered the Failed state
 	// (see supervise.go); it is set exactly once, under mu.
 	failCause error
+	// Recovery engine state (recovery.go), all guarded by mu.
+	// failCause stays nil while recovering: Recovering is not Failed,
+	// and datagrams must keep flowing in (one completes the recovery).
+	recovering     bool
+	recoverCause   error        // what started the recovery
+	recoverAttempt int          // probe rounds used
+	recoverHold    bool         // holds send.disable while recovering
+	recoverTimer   vclock.Timer // next probe
+	recoverRng     *rand.Rand   // full-jitter backoff source
 	// recvActivity counts accepted incoming datagrams — dead-peer
 	// detection's liveness signal, one increment per delivery, no clock
 	// read on the critical path.
@@ -197,7 +217,7 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{ep: ep, spec: spec, st: st, order: ep.cfg.Order}
+	c := &Conn{ep: ep, spec: spec, addr: spec.Addr, st: st, order: ep.cfg.Order}
 	for _, l := range ls {
 		if id, ok := l.(Identifier); ok {
 			c.ident = id
@@ -205,6 +225,10 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 	}
 	if c.ident == nil {
 		return nil, fmt.Errorf("core: stack has no identification layer")
+	}
+	c.identIdx = st.Index(c.ident)
+	if c.recoveryOn() {
+		c.recoverRng = newRecoveryRng(ep)
 	}
 
 	c.schema = header.New()
@@ -361,6 +385,14 @@ func (c *Conn) putTxBuf(b []byte) {
 
 // Spec returns the connection's peer specification.
 func (c *Conn) Spec() PeerSpec { return c.spec }
+
+// RemoteAddr returns the peer's current transport address: Spec().Addr
+// unless peer address migration has followed the peer elsewhere.
+func (c *Conn) RemoteAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
 
 // Schema exposes the compiled header schema (for reports).
 func (c *Conn) Schema() *header.Schema { return c.schema }
@@ -622,10 +654,13 @@ func (c *Conn) flushTx() {
 			c.txq = c.txqSpare
 			c.txqSpare = nil
 			c.txPending.Add(int64(-len(q)))
+			// The peer's current address is read under the lock:
+			// address migration may rewrite it concurrently.
+			dst := c.addr
 			c.mu.Unlock()
 			sendErrs := 0
 			for _, d := range q {
-				if err := c.ep.cfg.Transport.Send(c.spec.Addr, d); err != nil {
+				if err := c.ep.cfg.Transport.Send(dst, d); err != nil {
 					sendErrs++
 				}
 			}
@@ -655,8 +690,10 @@ func (c *Conn) flushTx() {
 }
 
 // deliverIncoming is the paper's from_network() (Fig. 3) past the router:
-// the preamble is already popped; cid is the identification region or nil.
-func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder) {
+// the preamble is already popped; cid is the identification region or
+// nil; src is the transport source address, consulted for peer address
+// migration.
+func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder, src string) {
 	c.mu.Lock()
 	if c.closed || c.failCause != nil {
 		// A failed connection keeps its routes until Close so late
@@ -690,6 +727,14 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 		return
 	}
 
+	// A datagram that passes the delivery filter while the connection
+	// is recovering completes the recovery: the peer is reachable
+	// again. The callback runs after the lock is released.
+	var onRecovered func()
+	if c.recovering {
+		onRecovered = c.finishRecoveryLocked()
+	}
+
 	fast := c.recv.disable == 0 &&
 		cid == nil &&
 		order == c.order &&
@@ -705,6 +750,17 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 		v, at := c.st.PreDeliver(ctx, m)
 		c.putCtx(ctx)
 		c.recv.mode = Idle
+		// Peer address migration: the route follows a peer whose
+		// source address changed (NAT rebind, endpoint restart) only
+		// when the datagram carried the connection identification AND
+		// the identification layer vetted it. Delivery runs bottom to
+		// top, so any verdict issued above the identification layer
+		// (at < identIdx; Continue reports -1) means identification
+		// passed — replayed duplicates the window drops still migrate.
+		if cid != nil && src != "" && src != c.addr && at < c.identIdx {
+			c.addr = src
+			c.stats.PeerMigrations++
+		}
 		switch v {
 		case stack.Continue:
 			c.acceptDelivery(m, env, sizes, nil)
@@ -722,6 +778,9 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder)
 	c.settle()
 	c.wakeIdle()
 	c.mu.Unlock()
+	if onRecovered != nil {
+		onRecovered()
+	}
 	c.flushTx()
 }
 
@@ -1016,6 +1075,7 @@ func (c *Conn) Close() error {
 	}
 	c.closed = true
 	c.stopSupervision()
+	c.cancelRecoveryLocked()
 	if c.idleCh != nil {
 		close(c.idleCh)
 	}

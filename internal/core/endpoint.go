@@ -100,6 +100,10 @@ type Endpoint struct {
 	template  Identifier
 	identSize int
 
+	// connSeq numbers connections in dial order; the recovery engine
+	// mixes it into each connection's jitter seed (recovery.go).
+	connSeq atomic.Uint64
+
 	stats endpointCounters
 }
 
@@ -459,7 +463,7 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 		}
 	}
 	m.MarkPayload()
-	c.deliverIncoming(m, cid, pre.Order)
+	c.deliverIncoming(m, cid, pre.Order, src)
 }
 
 // lookupIdent routes an identified message, consulting the accept hook for

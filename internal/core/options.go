@@ -157,6 +157,13 @@ type Config struct {
 	// with the failure cause. It runs without the connection lock, so it
 	// may use the Conn API (typically to Close it).
 	OnConnFail func(*Conn, error)
+	// Recovery configures the redial engine (recovery.go): with
+	// MaxAttempts > 0, a connection that would fail enters the
+	// Recovering state instead and probes the peer on an exponential-
+	// backoff schedule with full jitter, resuming the session through
+	// the identified first-message path (§2.2). The zero value keeps
+	// failure terminal.
+	Recovery RecoveryConfig
 	// CookieTTL enables garbage collection of learned cookie routes: a
 	// learned binding idle for more than the TTL (at most 1.5×TTL) is
 	// evicted from the router (EndpointStats.CookiesEvicted), bounding
@@ -261,6 +268,11 @@ type ConnStats struct {
 	PostOverflows uint64 // lazy post queue hit MaxPendingPost; drained inline
 	ControlMsgs   uint64 // layer-generated messages transmitted
 	Retransmits   uint64 // raw retransmissions
+
+	Recoveries     uint64 // times the connection entered Recovering
+	Recovered      uint64 // recoveries completed (peer heard again)
+	RecoveryProbes uint64 // probe rounds sent while recovering
+	PeerMigrations uint64 // route rewrites following the peer's address
 
 	SendErrors uint64
 }

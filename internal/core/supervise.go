@@ -32,14 +32,17 @@ var (
 type ConnState uint8
 
 // Connection lifecycle. Active → Failed is driven by supervision or an
-// explicit Fail; both Active and Failed reach Closed via Close. Failed is
-// terminal short of Close: sends and deliveries are refused with the
-// stored cause, but the connection keeps its routes and counters for
-// inspection until the application closes it.
+// explicit Fail; with Config.Recovery enabled the connection passes
+// through Recovering first and only reaches Failed when the retry
+// budget is exhausted (see recovery.go). All states reach Closed via
+// Close. Failed is terminal short of Close: sends and deliveries are
+// refused with the stored cause, but the connection keeps its routes
+// and counters for inspection until the application closes it.
 const (
 	StateActive ConnState = iota
 	StateFailed
 	StateClosed
+	StateRecovering
 )
 
 // String names the state.
@@ -51,6 +54,8 @@ func (s ConnState) String() string {
 		return "failed"
 	case StateClosed:
 		return "closed"
+	case StateRecovering:
+		return "recovering"
 	}
 	return "?"
 }
@@ -64,6 +69,8 @@ func (c *Conn) State() ConnState {
 		return StateClosed
 	case c.failCause != nil:
 		return StateFailed
+	case c.recovering:
+		return StateRecovering
 	}
 	return StateActive
 }
@@ -76,19 +83,43 @@ func (c *Conn) Err() error {
 	return c.failCause
 }
 
-// Fail moves the connection to the Failed state with the given cause:
-// pending post-processing is run (layer state must settle before the
-// layers shut down), layer timers are stopped, the backlog and queued
-// deliveries are freed, and blocked senders are released with the stored
-// error. Subsequent sends return the cause; late datagrams are dropped
-// and counted. The connection keeps its routes until Close. Fail is
-// idempotent and a no-op on a closed connection.
+// Fail reports the connection dead with the given cause. With recovery
+// configured (Config.Recovery.MaxAttempts > 0) the connection enters
+// the Recovering state and the redial engine takes over (recovery.go);
+// a Fail on an already-recovering connection escalates straight to the
+// terminal Failed state. Without recovery — or while the endpoint is
+// shutting down — the connection moves to Failed directly: pending
+// post-processing is run (layer state must settle before the layers
+// shut down), layer timers are stopped, the backlog and queued
+// deliveries are freed, and blocked senders are released with the
+// stored error. Subsequent sends return the cause; late datagrams are
+// dropped and counted. The connection keeps its routes until Close.
+// Fail is idempotent and a no-op on a closed connection.
 func (c *Conn) Fail(cause error) {
 	c.mu.Lock()
 	if c.closed || c.failCause != nil {
 		c.mu.Unlock()
 		return
 	}
+	if c.recovering {
+		// An explicit Fail during recovery is an escalation, not a
+		// second trigger: give up now.
+		c.cancelRecoveryLocked()
+		c.failLocked(cause)
+		return
+	}
+	if c.recoveryOn() && !c.ep.draining.Load() {
+		c.enterRecoveryLocked(cause)
+		return
+	}
+	c.failLocked(cause)
+}
+
+// failLocked is the terminal half of Fail. Caller holds c.mu;
+// failLocked releases it, flushes queued transmissions, invokes the
+// OnConnFail callback (never under the lock — it may call back into
+// the Conn), and returns the stored error.
+func (c *Conn) failLocked(cause error) error {
 	c.drain(&c.recv)
 	c.drain(&c.send)
 	if cause == nil {
@@ -120,6 +151,7 @@ func (c *Conn) Fail(cause error) {
 	if cb != nil {
 		cb(c, err)
 	}
+	return err
 }
 
 // startSupervision arms dead-peer detection when Config.PeerTimeout is
@@ -132,9 +164,18 @@ func (c *Conn) startSupervision() {
 		return
 	}
 	c.mu.Lock()
+	c.startSupervisionLocked()
+	c.mu.Unlock()
+}
+
+// startSupervisionLocked arms the dead-peer timer; caller holds c.mu.
+// Recovery completion restarts supervision through this path.
+func (c *Conn) startSupervisionLocked() {
+	if c.ep.cfg.PeerTimeout <= 0 {
+		return
+	}
 	c.superSeen = c.recvActivity
 	c.superTimer = c.ep.cfg.clock().AfterFunc(c.ep.cfg.PeerTimeout, c.superviseTick)
-	c.mu.Unlock()
 }
 
 func (c *Conn) superviseTick() {

@@ -207,6 +207,33 @@ func New(inner Inner, clock vclock.Clock, seed int64, rules ...Rule) *Transport 
 	return t
 }
 
+// SwapInner replaces the wrapped transport, modelling an endpoint
+// restart or a NAT rebind that moves the local socket: datagrams sent
+// after SwapInner leave through the new transport (and so carry its
+// source address), and the receive path follows it. The old inner's
+// handler is detached so datagrams still arriving on the abandoned
+// path no longer reach this injector; its lifecycle (Close) stays with
+// the caller. Stalled and delayed datagrams release through whichever
+// inner is current when they fire.
+func (t *Transport) SwapInner(inner Inner) {
+	t.mu.Lock()
+	old := t.inner
+	t.inner = inner
+	t.mu.Unlock()
+	if old != nil {
+		old.SetHandler(func(string, []byte) {})
+	}
+	inner.SetHandler(t.onRecv)
+}
+
+// currentInner reads the wrapped transport under the lock (SwapInner
+// may replace it concurrently).
+func (t *Transport) currentInner() Inner {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inner
+}
+
 // AddRule appends a rule to the plan at runtime.
 func (t *Transport) AddRule(r Rule) {
 	t.mu.Lock()
@@ -253,6 +280,7 @@ func (t *Transport) ReleaseStalled() int {
 	q := t.stalled
 	t.stalled = nil
 	h := t.handler
+	inner := t.inner
 	closed := t.closed
 	t.mu.Unlock()
 	if closed {
@@ -260,7 +288,7 @@ func (t *Transport) ReleaseStalled() int {
 	}
 	for _, s := range q {
 		if s.send {
-			_ = t.inner.Send(s.peer, s.data)
+			_ = inner.Send(s.peer, s.data)
 		} else if h != nil {
 			h(s.peer, s.data)
 		}
@@ -367,43 +395,45 @@ func (t *Transport) Send(dst string, datagram []byte) error {
 		t.mu.Unlock()
 		return nil
 	}
+	inner := t.inner
 	t.mu.Unlock()
 
 	if !a.fired {
-		return t.inner.Send(dst, datagram)
+		return inner.Send(dst, datagram)
 	}
 	switch a.kind {
 	case Drop:
 		return nil
 	case Duplicate:
-		if err := t.inner.Send(dst, datagram); err != nil {
+		if err := inner.Send(dst, datagram); err != nil {
 			return err
 		}
-		return t.inner.Send(dst, datagram)
+		return inner.Send(dst, datagram)
 	case Delay:
 		// The caller owns datagram once Send returns; hold a copy.
 		cp := append([]byte(nil), datagram...)
 		t.clock.AfterFunc(a.delay, func() {
 			t.mu.Lock()
+			cur := t.inner
 			closed := t.closed
 			t.mu.Unlock()
 			if !closed {
-				_ = t.inner.Send(dst, cp)
+				_ = cur.Send(dst, cp)
 			}
 		})
 		return nil
 	case Truncate:
 		// A shorter prefix of the caller's buffer: no mutation, no copy.
-		return t.inner.Send(dst, datagram[:a.keep])
+		return inner.Send(dst, datagram[:a.keep])
 	case Corrupt:
 		if len(datagram) == 0 {
-			return t.inner.Send(dst, datagram)
+			return inner.Send(dst, datagram)
 		}
 		cp := append([]byte(nil), datagram...)
 		cp[a.offset] ^= a.bitMask
-		return t.inner.Send(dst, cp)
+		return inner.Send(dst, cp)
 	}
-	return t.inner.Send(dst, datagram)
+	return inner.Send(dst, datagram)
 }
 
 // onRecv runs incoming datagrams through the fault plan before the
@@ -475,7 +505,7 @@ func (t *Transport) SetHandler(h func(src string, datagram []byte)) {
 }
 
 // LocalAddr implements core.Transport.
-func (t *Transport) LocalAddr() string { return t.inner.LocalAddr() }
+func (t *Transport) LocalAddr() string { return t.currentInner().LocalAddr() }
 
 // Close implements core.Transport: stalled datagrams are discarded and
 // pending delayed deliveries become no-ops.
@@ -483,6 +513,7 @@ func (t *Transport) Close() error {
 	t.mu.Lock()
 	t.closed = true
 	t.stalled = nil
+	inner := t.inner
 	t.mu.Unlock()
-	return t.inner.Close()
+	return inner.Close()
 }

@@ -301,3 +301,46 @@ func TestCloseDiscardsStalledAndDelayed(t *testing.T) {
 		t.Fatal("inner transport not closed")
 	}
 }
+
+func TestSwapInnerRedirectsBothDirections(t *testing.T) {
+	oldT := &fakeTransport{}
+	ft := New(oldT, nil, 0, Rule{Kind: Drop, Direction: Send, Nth: 2})
+	var mu sync.Mutex
+	var got []string
+	ft.SetHandler(func(src string, d []byte) {
+		mu.Lock()
+		got = append(got, src+":"+string(d))
+		mu.Unlock()
+	})
+	if err := ft.Send("B", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	oldT.inject("B", []byte("up-old"))
+
+	newT := &fakeTransport{}
+	ft.SwapInner(newT)
+
+	// Sends leave through the new inner; the rule plan keeps counting
+	// across the swap (the Nth=2 drop eats "two").
+	if err := ft.Send("B", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Send("B", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if oldT.sentCount() != 1 {
+		t.Fatalf("old inner got %d sends after swap, want 1", oldT.sentCount())
+	}
+	if newT.sentCount() != 1 || !bytes.Equal(newT.sentAt(0), []byte("three")) {
+		t.Fatalf("new inner got %d sends, want just %q", newT.sentCount(), "three")
+	}
+
+	// Receives follow the new inner; the abandoned path is detached.
+	newT.inject("B", []byte("up-new"))
+	oldT.inject("B", []byte("stale"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "B:up-old" || got[1] != "B:up-new" {
+		t.Fatalf("handler saw %v", got)
+	}
+}

@@ -1,6 +1,8 @@
 package layers
 
 import (
+	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"paccel/internal/filter"
@@ -26,8 +28,21 @@ type Heartbeat struct {
 	// 0 means 3.
 	Misses int
 	// OnSilence is called (once per silence episode, under the
-	// connection lock) when the peer has been quiet too long.
+	// connection lock) when the peer has been quiet too long. It must
+	// not call back into the connection (Send, Close): unlike the
+	// engine's OnConnFail/OnRecover callbacks, layer callbacks run
+	// inside the serialized critical path.
 	OnSilence func(quiet time.Duration)
+	// Jitter spreads each beat: the gap between beats is Interval plus
+	// a uniform draw from [0, Jitter). Thousands of connections primed
+	// together (a shared partition healing, a mass reconnect) then
+	// desynchronize instead of beating in lockstep forever. 0 (the
+	// default) keeps exact intervals. Silence detection is unaffected:
+	// it measures time since the peer was heard, not tick phase.
+	Jitter time.Duration
+	// Seed pins the jitter sequence for deterministic tests; 0 draws a
+	// per-layer seed so distinct connections differ.
+	Seed int64
 
 	hb header.Handle // ProtoSpec: 1 iff this frame is a keepalive
 
@@ -35,6 +50,7 @@ type Heartbeat struct {
 	lastHeard time.Time
 	timer     vclock.Timer
 	silenced  bool
+	rng       *rand.Rand
 
 	// Beats counts keepalives sent; Heard counts keepalives received.
 	Beats, Heard uint64
@@ -76,8 +92,22 @@ func (h *Heartbeat) Prime(ctx *stack.Context) {
 	h.arm()
 }
 
+// hbSeedSeq disperses auto-drawn jitter seeds across layer instances.
+var hbSeedSeq atomic.Int64
+
 func (h *Heartbeat) arm() {
-	h.timer = h.s.AfterFunc(h.interval(), h.tick)
+	d := h.interval()
+	if h.Jitter > 0 {
+		if h.rng == nil {
+			seed := h.Seed
+			if seed == 0 {
+				seed = hbSeedSeq.Add(1) * 0x5851F42D // distinct per instance
+			}
+			h.rng = rand.New(rand.NewSource(seed))
+		}
+		d += time.Duration(h.rng.Int63n(int64(h.Jitter)))
+	}
+	h.timer = h.s.AfterFunc(d, h.tick)
 }
 
 func (h *Heartbeat) tick() {

@@ -1,0 +1,93 @@
+package layers
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// beatSchedule drives one jittered heartbeat on its own virtual clock
+// and returns the virtual offsets (ms since t0) of each beat over span.
+func beatSchedule(t *testing.T, interval, jitter time.Duration, seed int64, span time.Duration) []int64 {
+	t.Helper()
+	hb := NewHeartbeat()
+	hb.Interval = interval
+	hb.Jitter = jitter
+	hb.Seed = seed
+	h := newHarness(t, hb)
+	var times []int64
+	beats := uint64(0)
+	for elapsed := time.Duration(0); elapsed < span; elapsed += time.Millisecond {
+		h.clk.Advance(time.Millisecond)
+		if hb.Beats != beats {
+			beats = hb.Beats
+			times = append(times, h.clk.Now().Sub(t0).Milliseconds())
+		}
+	}
+	return times
+}
+
+// TestHeartbeatJitterDesynchronizes: two connections primed at the same
+// instant (the lockstep scenario: a shared partition heals, every conn
+// re-arms together) must drift apart when Jitter is set, and every gap
+// must stay inside [Interval, Interval+Jitter).
+func TestHeartbeatJitterDesynchronizes(t *testing.T) {
+	const (
+		interval = 10 * time.Millisecond
+		jitter   = 5 * time.Millisecond
+		span     = 400 * time.Millisecond
+	)
+	s1 := beatSchedule(t, interval, jitter, 1, span)
+	s2 := beatSchedule(t, interval, jitter, 2, span)
+	if len(s1) < 10 || len(s2) < 10 {
+		t.Fatalf("too few beats: %d and %d", len(s1), len(s2))
+	}
+	if fmt.Sprint(s1) == fmt.Sprint(s2) {
+		t.Fatalf("identically-primed heartbeats stayed in lockstep: %v", s1)
+	}
+	for _, s := range [][]int64{s1, s2} {
+		prev := int64(0)
+		for _, at := range s {
+			gap := at - prev
+			if gap < interval.Milliseconds() || gap >= (interval+jitter).Milliseconds()+1 {
+				t.Fatalf("beat gap %dms outside [%v, %v)", gap, interval, interval+jitter)
+			}
+			prev = at
+		}
+	}
+}
+
+// TestHeartbeatJitterDeterministic: a pinned Seed reproduces the exact
+// beat schedule, run to run.
+func TestHeartbeatJitterDeterministic(t *testing.T) {
+	a := beatSchedule(t, 10*time.Millisecond, 5*time.Millisecond, 42, 200*time.Millisecond)
+	b := beatSchedule(t, 10*time.Millisecond, 5*time.Millisecond, 42, 200*time.Millisecond)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+}
+
+// TestHeartbeatJitterAutoSeed: Seed 0 draws a distinct per-instance
+// seed, so even unconfigured connections do not share a schedule.
+func TestHeartbeatJitterAutoSeed(t *testing.T) {
+	a := beatSchedule(t, 10*time.Millisecond, 5*time.Millisecond, 0, 400*time.Millisecond)
+	b := beatSchedule(t, 10*time.Millisecond, 5*time.Millisecond, 0, 400*time.Millisecond)
+	if fmt.Sprint(a) == fmt.Sprint(b) {
+		t.Fatalf("auto-seeded heartbeats share a schedule: %v", a)
+	}
+}
+
+// TestHeartbeatNoJitterStaysExact guards the default: with Jitter unset
+// the beat period is exactly Interval (existing deployments depend on
+// precise keepalive spacing).
+func TestHeartbeatNoJitterStaysExact(t *testing.T) {
+	s := beatSchedule(t, 10*time.Millisecond, 0, 0, 100*time.Millisecond)
+	if len(s) != 10 {
+		t.Fatalf("beats = %d, want 10", len(s))
+	}
+	for i, at := range s {
+		if at != int64(10*(i+1)) {
+			t.Fatalf("beat %d at %dms, want %d", i, at, 10*(i+1))
+		}
+	}
+}

@@ -20,11 +20,16 @@ const (
 )
 
 // Message types carried in the window layer's 2-bit protocol-specific
-// type field ("e.g., data, ack, or nak", §2.1).
+// type field ("e.g., data, ack, or nak", §2.1). TypeProbe is the
+// session-resumption handshake (engine recovery): it always travels
+// with the connection identification attached — the §2.2 "unusual
+// message" path — and solicits an identified acknowledgement, so both
+// directions re-establish cookies and reconcile their sequence state.
 const (
 	TypeData uint64 = iota
 	TypeAck
 	TypeNak
+	TypeProbe
 )
 
 // Window is a sliding window protocol layer providing reliable,
@@ -104,6 +109,10 @@ type WindowStats struct {
 	AcksSent, AcksReceived       uint64
 	NaksSent, NaksReceived       uint64
 	Retransmits, Timeouts        uint64
+	// Session resumption (engine recovery).
+	Resumes        uint64 // Resume calls (one per probe round)
+	ResumeReplays  uint64 // unacked frames replayed by Resume
+	ProbesReceived uint64 // peer resume probes answered
 }
 
 // NewWindow returns a window layer with the paper's defaults (16 entries)
@@ -273,6 +282,17 @@ func (w *Window) PreDeliver(ctx *stack.Context, m *message.Msg) stack.Verdict {
 			w.Stats.NaksReceived++
 			w.processAck(ackVal)
 			w.resend(seq)
+		})
+		return stack.Consume
+	case TypeProbe:
+		// Session-resumption probe: the peer is recovering. Answer
+		// with an identified ack so it re-learns our cookie and sees
+		// our cumulative ack — that reply is what completes the
+		// peer's recovery.
+		ctx.S.Defer(func() {
+			w.Stats.ProbesReceived++
+			w.processAck(ackVal)
+			w.sendAckIdent(true)
 		})
 		return stack.Consume
 	}
@@ -504,6 +524,76 @@ func (w *Window) stopAckTimer() {
 		w.ackTimer.Stop()
 		w.ackTimer = nil
 	}
+}
+
+// Resume implements stack.Resumer: the window's half of the session-
+// resumption handshake. It sends an identified probe carrying the
+// current cumulative ack (so the peer re-learns our cookie and releases
+// anything we have acknowledged) and replays every unacked frame —
+// also identified, the §2.2 retransmission rule. The receiver's
+// sequence space dedupes replays of frames it already delivered, so
+// no payload is lost or duplicated across the failover. Like every
+// layer entry point it runs under the connection lock.
+func (w *Window) Resume() {
+	w.Stats.Resumes++
+	w.sendProbe()
+	for s := w.ackedTo; seqLT(s, w.nextSeq); s++ {
+		m, ok := w.unacked[s]
+		if !ok {
+			continue
+		}
+		w.Stats.ResumeReplays++
+		w.Stats.Retransmits++
+		w.sentAt[s] = time.Time{} // Karn: replays never feed the RTT estimate
+		_ = w.s.SendRaw(m, true)
+	}
+	w.rearmRetransmit()
+}
+
+// sendProbe emits the identified resume probe. Unlike an ack it always
+// solicits a reply, so a recovering side with nothing outstanding still
+// gets the datagram that completes its recovery.
+func (w *Window) sendProbe() {
+	msg := message.New(nil)
+	err := w.s.SendControl(w, msg, stack.ControlOpts{
+		IncludeConnID: true,
+		Build: func(env *filter.Env) {
+			w.typ.Write(env.Hdr[header.ProtoSpec], env.Order, TypeProbe)
+			w.seq.Write(env.Hdr[header.ProtoSpec], env.Order, uint64(w.nextSeq))
+			w.ack.Write(env.Hdr[header.Gossip], env.Order, uint64(w.expected))
+		},
+	})
+	if err != nil {
+		msg.Free()
+	}
+}
+
+// WindowState is an observability snapshot of the window's sequence
+// space (ExportState) for failover assertions and reports.
+type WindowState struct {
+	NextSeq  uint32   // next data sequence to be assigned
+	AckedTo  uint32   // everything before this is acknowledged by the peer
+	Expected uint32   // next incoming sequence to deliver
+	Unacked  []uint32 // outstanding sends, ascending
+	Buffered []uint32 // out-of-order frames held for release, ascending
+}
+
+// ExportState snapshots the sequence space. Call it from the same
+// serialization domain as the connection's operations (tests and
+// experiments read it while the connection is quiescent).
+func (w *Window) ExportState() WindowState {
+	st := WindowState{NextSeq: w.nextSeq, AckedTo: w.ackedTo, Expected: w.expected}
+	for s := w.ackedTo; seqLT(s, w.nextSeq); s++ {
+		if _, ok := w.unacked[s]; ok {
+			st.Unacked = append(st.Unacked, s)
+		}
+	}
+	for s := w.expected; !seqLT(w.expected+4*w.size(), s); s++ {
+		if _, ok := w.oooBuf[s]; ok {
+			st.Buffered = append(st.Buffered, s)
+		}
+	}
+	return st
 }
 
 // Outstanding reports the number of unacknowledged frames.

@@ -157,6 +157,17 @@ type Services interface {
 	Defer(f func())
 }
 
+// Resumer is implemented by layers that take part in session
+// resumption. When the engine probes a disrupted connection it calls
+// Resume on every implementing layer (top to bottom, under the
+// connection lock): the layer re-transmits whatever the peer needs to
+// reconcile state — the window layer sends an identified probe carrying
+// its cumulative ack and replays its unacked frames. Layers without
+// resumable state simply don't implement the interface.
+type Resumer interface {
+	Resume()
+}
+
 // Stack is an ordered list of layers, index 0 on top (nearest the
 // application).
 type Stack struct {

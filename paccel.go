@@ -76,6 +76,12 @@ type (
 	StackBuilder = core.StackBuilder
 	// IdentInfo is a parsed incoming connection identification.
 	IdentInfo = layers.IdentInfo
+	// RecoveryConfig configures the self-healing redial engine
+	// (Config.Recovery): with MaxAttempts > 0, a failing connection
+	// enters Recovering and probes the peer on an exponential-backoff
+	// schedule with full jitter, resuming the session through the
+	// identified first-message path instead of going terminal.
+	RecoveryConfig = core.RecoveryConfig
 )
 
 // Simulated network types.
@@ -105,6 +111,11 @@ var (
 	// ErrPeerSilent is the failure cause assigned by dead-peer detection
 	// (Config.PeerTimeout). Wrapped by ErrConnFailed.
 	ErrPeerSilent = core.ErrPeerSilent
+	// ErrRecoveryExhausted reports that the redial engine ran out of
+	// retry budget (Config.Recovery.MaxAttempts); the stored failure
+	// cause wraps both this and ErrConnFailed, plus the original
+	// trigger.
+	ErrRecoveryExhausted = core.ErrRecoveryExhausted
 	// ErrCookieCollision reports a Dial whose pre-agreed incoming cookie
 	// is already routed to a live connection.
 	ErrCookieCollision = core.ErrCookieCollision
@@ -126,6 +137,10 @@ const (
 	StateFailed = core.StateFailed
 	// StateClosed is a connection after Close.
 	StateClosed = core.StateClosed
+	// StateRecovering is a connection the redial engine is bringing
+	// back (Config.Recovery): sends backlog, incoming datagrams still
+	// deliver, and the first datagram heard completes the recovery.
+	StateRecovering = core.StateRecovering
 )
 
 // Fault injection (internal/faultinject): a deterministic, seedable
@@ -252,6 +267,10 @@ type StackOptions struct {
 	AdaptiveRTO bool
 	// Heartbeat adds a keepalive layer with this interval.
 	Heartbeat time.Duration
+	// HeartbeatJitter spreads each beat by a uniform draw from
+	// [0, HeartbeatJitter), so fleets of connections primed together
+	// (a mass reconnect) desynchronize instead of beating in lockstep.
+	HeartbeatJitter time.Duration
 	// OnSilence receives peer-silence reports (requires Heartbeat).
 	OnSilence func(peer []byte, quiet time.Duration)
 	// Stamp adds the message-timestamp layer and reports one-way
@@ -289,6 +308,7 @@ func BuildStack(opts StackOptions) StackBuilder {
 		if opts.Heartbeat > 0 {
 			hb := layers.NewHeartbeat()
 			hb.Interval = opts.Heartbeat
+			hb.Jitter = opts.HeartbeatJitter
 			if opts.OnSilence != nil {
 				peer := append([]byte(nil), spec.RemoteID...)
 				hb.OnSilence = func(d time.Duration) { opts.OnSilence(peer, d) }
