@@ -28,9 +28,14 @@
 // checking exactly-once delivery and route migration without a new Dial;
 // -json writes its baseline (BENCH_3.json), and -seed pins the schedule.
 //
+// The batch experiment measures vectorized transport I/O: engine-generated
+// bursts over real UDP loopback with sendmmsg/recvmmsg batching versus the
+// same engine restricted to one syscall per datagram, plus an in-memory
+// reference run; -json writes its machine-readable baseline (BENCH_4.json).
+//
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -42,11 +47,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, or recovery: also write the machine-readable baseline to this file")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, or batch: also write the machine-readable baseline to this file")
 	seed := flag.Int64("seed", 0, "with -exp faults or recovery: schedule seed (0 = fixed default)")
 	flag.Parse()
 
@@ -126,6 +131,14 @@ func main() {
 		any = true
 		recovery(*quick, *seed, *jsonPath)
 	}
+	if run("batch") {
+		any = true
+		if *simOnly {
+			fmt.Println("batch: skipped (real-hardware measurement only)")
+		} else {
+			batch(*quick, *jsonPath)
+		}
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -161,6 +174,17 @@ func recovery(quick bool, seed int64, jsonPath string) {
 	fmt.Println(experiments.RecoveryReport(res))
 	if jsonPath != "" {
 		out, err := experiments.RecoveryJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func batch(quick bool, jsonPath string) {
+	res, err := experiments.Batch(quick)
+	fail(err)
+	fmt.Println(experiments.BatchReport(res))
+	if jsonPath != "" {
+		out, err := experiments.BatchJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

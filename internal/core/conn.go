@@ -658,12 +658,7 @@ func (c *Conn) flushTx() {
 			// address migration may rewrite it concurrently.
 			dst := c.addr
 			c.mu.Unlock()
-			sendErrs := 0
-			for _, d := range q {
-				if err := c.ep.cfg.Transport.Send(dst, d); err != nil {
-					sendErrs++
-				}
-			}
+			sendErrs := c.sendQueued(dst, q)
 			c.mu.Lock()
 			if sendErrs > 0 {
 				c.stats.SendErrors += uint64(sendErrs)
@@ -687,6 +682,49 @@ func (c *Conn) flushTx() {
 			return
 		}
 	}
+}
+
+// sendQueued transmits one drained tx queue to dst and returns how many
+// datagrams the transport refused. With a BatchTransport the whole queue
+// goes down in one SendBatch call (one sendmmsg on the Linux UDP path) —
+// the same amortization the PA applies to layer overhead, one level
+// lower. A failed datagram is skipped and the rest of the queue is
+// re-batched, so one refused wire image never blocks the burst behind
+// it. Runs without c.mu (transport sends may deliver synchronously).
+func (c *Conn) sendQueued(dst string, q [][]byte) (sendErrs int) {
+	ep := c.ep
+	if bt := ep.batch; bt != nil && len(q) > 1 {
+		for rest := q; len(rest) > 0; {
+			n, err := bt.SendBatch(dst, rest)
+			if n < 0 {
+				n = 0
+			}
+			if n > len(rest) {
+				n = len(rest)
+			}
+			ep.stats.batchSends.Add(1)
+			ep.stats.batchDatagrams.Add(uint64(n))
+			if err == nil {
+				break
+			}
+			// The datagram at index n failed; skip it, batch the rest.
+			sendErrs++
+			if n+1 >= len(rest) {
+				break
+			}
+			rest = rest[n+1:]
+		}
+	} else {
+		for _, d := range q {
+			if err := ep.cfg.Transport.Send(dst, d); err != nil {
+				sendErrs++
+			}
+		}
+	}
+	if sendErrs > 0 {
+		ep.stats.txErrors.Add(uint64(sendErrs))
+	}
+	return sendErrs
 }
 
 // deliverIncoming is the paper's from_network() (Fig. 3) past the router:

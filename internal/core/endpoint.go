@@ -68,6 +68,11 @@ func shardIndex(cookie uint64) uint64 {
 type Endpoint struct {
 	cfg Config
 
+	// batch is the transport's vectorized send interface, asserted once
+	// at construction; nil when the transport only sends one datagram at
+	// a time and the flush paths must loop.
+	batch BatchTransport
+
 	closed atomic.Bool
 	// draining refuses new sends while Shutdown runs down the deferred
 	// work (see supervise.go).
@@ -119,6 +124,9 @@ type endpointCounters struct {
 	cookiesLearned   atomic.Uint64
 	cookieCollisions atomic.Uint64
 	cookiesEvicted   atomic.Uint64
+	txErrors         atomic.Uint64
+	batchSends       atomic.Uint64
+	batchDatagrams   atomic.Uint64
 }
 
 // EndpointStats is a snapshot of the router counters.
@@ -132,6 +140,21 @@ type EndpointStats struct {
 	CookiesLearned   uint64
 	CookieCollisions uint64 // learned or pre-agreed cookie already bound elsewhere
 	CookiesEvicted   uint64 // learned cookies idle past CookieTTL, removed by GC
+
+	// Vectorized transport I/O (DESIGN.md §11). TxErrors counts
+	// per-datagram transport send failures on the flush paths (batched or
+	// not); the tx queue keeps draining past a failed datagram. The
+	// Batch* counters measure syscall amortization: BatchSends is how
+	// many SendBatch calls the flush paths issued, BatchDatagrams how
+	// many datagrams those calls carried, and DatagramsPerBatch their
+	// ratio. BatchRecvs/RecvDatagrams are folded in from the transport
+	// when its receive path is vectorized (RecvBatcher).
+	TxErrors          uint64
+	BatchSends        uint64
+	BatchDatagrams    uint64
+	DatagramsPerBatch float64
+	BatchRecvs        uint64
+	RecvDatagrams     uint64
 }
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to the transport.
@@ -145,6 +168,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		byIdent:    make(map[string]*Conn),
 		singleLock: cfg.SingleLockRouter,
 	}
+	ep.batch, _ = cfg.Transport.(BatchTransport)
 	for i := range ep.shards {
 		ep.shards[i].m = make(map[uint64]*cookieEntry)
 	}
@@ -255,7 +279,7 @@ func (ep *Endpoint) initTemplate() error {
 
 // Stats returns a snapshot of the router counters.
 func (ep *Endpoint) Stats() EndpointStats {
-	return EndpointStats{
+	s := EndpointStats{
 		Received:         ep.stats.received.Load(),
 		UnknownCookie:    ep.stats.unknownCookie.Load(),
 		UnknownIdent:     ep.stats.unknownIdent.Load(),
@@ -265,7 +289,17 @@ func (ep *Endpoint) Stats() EndpointStats {
 		CookiesLearned:   ep.stats.cookiesLearned.Load(),
 		CookieCollisions: ep.stats.cookieCollisions.Load(),
 		CookiesEvicted:   ep.stats.cookiesEvicted.Load(),
+		TxErrors:         ep.stats.txErrors.Load(),
+		BatchSends:       ep.stats.batchSends.Load(),
+		BatchDatagrams:   ep.stats.batchDatagrams.Load(),
 	}
+	if s.BatchSends > 0 {
+		s.DatagramsPerBatch = float64(s.BatchDatagrams) / float64(s.BatchSends)
+	}
+	if rb, ok := ep.cfg.Transport.(RecvBatcher); ok {
+		s.BatchRecvs, s.RecvDatagrams = rb.RecvBatchStats()
+	}
+	return s
 }
 
 // IdentSize returns the endpoint's connection identification size (the

@@ -32,6 +32,32 @@ type Transport interface {
 	Close() error
 }
 
+// BatchTransport is optionally implemented by transports that can
+// transmit a burst of datagrams in one call — Linux sendmmsg on the UDP
+// transport, deterministic burst delivery on netsim. The engine's
+// transmit flush detects it once at endpoint construction and drains the
+// whole tx queue per call instead of paying one Send per wire image.
+//
+// Contract: the datagrams are transmitted in slice order, and sent is how
+// many of them were — always a prefix. A non-nil err describes a failure
+// of the datagram at index sent; the datagrams after it were not
+// attempted, and err == nil implies sent == len(datagrams). Loss on an
+// unreliable link is not an error: a datagram the transport accepted and
+// then dropped counts as sent. Buffer ownership matches Send — every
+// datagram is the caller's again once SendBatch returns.
+type BatchTransport interface {
+	Transport
+	SendBatch(dst string, datagrams [][]byte) (sent int, err error)
+}
+
+// RecvBatcher is optionally implemented by transports whose receive path
+// is vectorized (Linux recvmmsg): RecvBatchStats reports how many batched
+// reads have completed and how many datagrams they carried.
+// Endpoint.Stats folds the counters into its snapshot.
+type RecvBatcher interface {
+	RecvBatchStats() (batches, datagrams uint64)
+}
+
 // PeerSpec identifies one connection: the peer's network address plus the
 // connection identification both sides agree on (§2.1 class 1).
 type PeerSpec struct {

@@ -1,0 +1,235 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// recordingInner captures everything forwarded to it, remembering whether
+// it arrived through Send or SendBatch.
+type recordingInner struct {
+	sent    [][]byte
+	batches []int // datagram count of each SendBatch call
+	failAt  int   // SendBatch index to fail at; -1 disables
+}
+
+func newRecordingInner() *recordingInner { return &recordingInner{failAt: -1} }
+
+func (r *recordingInner) Send(dst string, d []byte) error {
+	r.sent = append(r.sent, append([]byte(nil), d...))
+	return nil
+}
+
+func (r *recordingInner) SendBatch(dst string, datagrams [][]byte) (int, error) {
+	r.batches = append(r.batches, len(datagrams))
+	for i, d := range datagrams {
+		if i == r.failAt {
+			return i, fmt.Errorf("recordingInner: rejected at %d", i)
+		}
+		r.sent = append(r.sent, append([]byte(nil), d...))
+	}
+	return len(datagrams), nil
+}
+
+func (r *recordingInner) SetHandler(func(src string, datagram []byte)) {}
+func (r *recordingInner) LocalAddr() string                            { return "inner" }
+func (r *recordingInner) Close() error                                 { return nil }
+
+func burstOf(n int) [][]byte {
+	b := make([][]byte, n)
+	for i := range b {
+		b[i] = []byte(fmt.Sprintf("datagram-%02d-payload", i))
+	}
+	return b
+}
+
+// TestSendBatchDropAffectsOnlyMatched checks that a mid-batch Drop rule
+// removes exactly the matched datagram: the rest of the burst is
+// forwarded, in order, in one inner batch.
+func TestSendBatchDropAffectsOnlyMatched(t *testing.T) {
+	inner := newRecordingInner()
+	tr := New(inner, nil, 0, Rule{Kind: Drop, Direction: Send, Nth: 3})
+	burst := burstOf(6)
+
+	sent, err := tr.SendBatch("peer", burst)
+	if err != nil || sent != 6 {
+		t.Fatalf("SendBatch = (%d, %v), want (6, nil)", sent, err)
+	}
+	if len(inner.sent) != 5 {
+		t.Fatalf("inner saw %d datagrams, want 5", len(inner.sent))
+	}
+	if len(inner.batches) != 1 || inner.batches[0] != 5 {
+		t.Fatalf("inner batches = %v, want one batch of 5", inner.batches)
+	}
+	for i, want := 0, 0; want < 6; want++ {
+		if want == 2 { // the 3rd matching datagram was dropped
+			continue
+		}
+		if !bytes.Equal(inner.sent[i], burst[want]) {
+			t.Fatalf("forwarded[%d] = %q, want %q", i, inner.sent[i], burst[want])
+		}
+		i++
+	}
+	if st := tr.Stats(); st.Dropped != 1 || st.Sent != 6 {
+		t.Fatalf("stats = %+v, want Dropped=1 Sent=6", st)
+	}
+}
+
+// TestSendBatchTruncateAffectsOnlyMatched checks that a mid-batch
+// Truncate cuts exactly the matched datagram and leaves its neighbours
+// byte-identical.
+func TestSendBatchTruncateAffectsOnlyMatched(t *testing.T) {
+	inner := newRecordingInner()
+	tr := New(inner, nil, 0, Rule{Kind: Truncate, Direction: Send, Nth: 4, TruncateTo: 5})
+	burst := burstOf(6)
+
+	sent, err := tr.SendBatch("peer", burst)
+	if err != nil || sent != 6 {
+		t.Fatalf("SendBatch = (%d, %v), want (6, nil)", sent, err)
+	}
+	if len(inner.sent) != 6 {
+		t.Fatalf("inner saw %d datagrams, want 6", len(inner.sent))
+	}
+	for i := range burst {
+		want := burst[i]
+		if i == 3 {
+			want = burst[i][:5]
+		}
+		if !bytes.Equal(inner.sent[i], want) {
+			t.Fatalf("forwarded[%d] = %q, want %q", i, inner.sent[i], want)
+		}
+	}
+	// The caller's buffer must come back untouched.
+	if string(burst[3]) != "datagram-03-payload" {
+		t.Fatalf("caller's datagram mutated: %q", burst[3])
+	}
+}
+
+// TestSendBatchDuplicateAndStall checks the remaining in-batch fault
+// shapes: a duplicate appears twice back to back, and a stalled datagram
+// is held out of the batch until released.
+func TestSendBatchDuplicateAndStall(t *testing.T) {
+	inner := newRecordingInner()
+	tr := New(inner, nil, 0,
+		Rule{Kind: Duplicate, Direction: Send, Nth: 1},
+		Rule{Kind: Stall, Direction: Send, Nth: 2}, // 2nd match of THIS rule: burst[2]
+	)
+	burst := burstOf(4)
+
+	sent, err := tr.SendBatch("peer", burst)
+	if err != nil || sent != 4 {
+		t.Fatalf("SendBatch = (%d, %v), want (4, nil)", sent, err)
+	}
+	// burst[0] duplicated, burst[2] stalled (rule 2's second matching
+	// datagram: burst[1] was its first match, burst[0] was claimed by
+	// rule 1 before reaching it).
+	want := [][]byte{burst[0], burst[0], burst[1], burst[3]}
+	if len(inner.sent) != len(want) {
+		t.Fatalf("inner saw %d datagrams, want %d: %q", len(inner.sent), len(want), inner.sent)
+	}
+	for i := range want {
+		if !bytes.Equal(inner.sent[i], want[i]) {
+			t.Fatalf("forwarded[%d] = %q, want %q", i, inner.sent[i], want[i])
+		}
+	}
+	if got := tr.StalledCount(); got != 1 {
+		t.Fatalf("StalledCount = %d, want 1", got)
+	}
+	if got := tr.ReleaseStalled(); got != 1 {
+		t.Fatalf("ReleaseStalled = %d, want 1", got)
+	}
+	if last := inner.sent[len(inner.sent)-1]; !bytes.Equal(last, burst[2]) {
+		t.Fatalf("released datagram = %q, want %q", last, burst[2])
+	}
+}
+
+// TestSendBatchErrorMapsToCallerIndex checks the prefix-contract error
+// mapping: when the inner batch fails partway, the reported sent count is
+// in the caller's index space, with fault-consumed datagrams before the
+// failure counted as sent.
+func TestSendBatchErrorMapsToCallerIndex(t *testing.T) {
+	inner := newRecordingInner()
+	inner.failAt = 2 // inner rejects the 3rd datagram it is handed
+	tr := New(inner, nil, 0, Rule{Kind: Drop, Direction: Send, Nth: 2})
+	burst := burstOf(6)
+
+	// burst[1] is dropped by the plan, so the inner batch is
+	// [0,2,3,4,5] and its index 2 is burst[3].
+	sent, err := tr.SendBatch("peer", burst)
+	if err == nil {
+		t.Fatal("SendBatch succeeded, want inner failure")
+	}
+	if sent != 3 {
+		t.Fatalf("sent = %d, want 3 (caller-space prefix: 0,1-dropped,2)", sent)
+	}
+}
+
+// TestSendBatchMatchesLoopedSends checks the replay contract: the same
+// plan over the same traffic fires identically whether the burst went
+// through SendBatch or a loop of Sends.
+func TestSendBatchMatchesLoopedSends(t *testing.T) {
+	plan := []Rule{
+		{Kind: Drop, Direction: Send, Rate: 0.4},
+		{Kind: Truncate, Direction: Send, Every: 3, TruncateTo: 4},
+	}
+	const seed = 77
+
+	looped := newRecordingInner()
+	trL := New(looped, nil, seed, plan...)
+	for _, d := range burstOf(32) {
+		if err := trL.Send("peer", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched := newRecordingInner()
+	trB := New(batched, nil, seed, plan...)
+	if sent, err := trB.SendBatch("peer", burstOf(32)); err != nil || sent != 32 {
+		t.Fatalf("SendBatch = (%d, %v), want (32, nil)", sent, err)
+	}
+
+	if ls, bs := trL.Stats(), trB.Stats(); ls != bs {
+		t.Fatalf("stats diverge: looped %+v, batched %+v", ls, bs)
+	}
+	if len(looped.sent) != len(batched.sent) {
+		t.Fatalf("forwarded %d looped vs %d batched datagrams", len(looped.sent), len(batched.sent))
+	}
+	for i := range looped.sent {
+		if !bytes.Equal(looped.sent[i], batched.sent[i]) {
+			t.Fatalf("forwarded[%d] diverges: %q vs %q", i, looped.sent[i], batched.sent[i])
+		}
+	}
+}
+
+// TestSendBatchAllConsumed checks that a batch fully consumed by faults
+// reports success without touching the inner transport.
+func TestSendBatchAllConsumed(t *testing.T) {
+	inner := newRecordingInner()
+	tr := New(inner, nil, 0, Rule{Kind: Drop, Direction: Send})
+	sent, err := tr.SendBatch("peer", burstOf(5))
+	if err != nil || sent != 5 {
+		t.Fatalf("SendBatch = (%d, %v), want (5, nil)", sent, err)
+	}
+	if len(inner.sent) != 0 || len(inner.batches) != 0 {
+		t.Fatalf("inner saw traffic: sent=%d batches=%v", len(inner.sent), inner.batches)
+	}
+}
+
+// TestSendBatchPartitioned checks that a partition consumes the whole
+// batch silently, like it does per-datagram Sends.
+func TestSendBatchPartitioned(t *testing.T) {
+	inner := newRecordingInner()
+	tr := New(inner, nil, 0)
+	tr.SetPartitioned("peer", true)
+	sent, err := tr.SendBatch("peer", burstOf(3))
+	if err != nil || sent != 3 {
+		t.Fatalf("SendBatch = (%d, %v), want (3, nil)", sent, err)
+	}
+	if got := tr.Stats().PartitionDropped; got != 3 {
+		t.Fatalf("PartitionDropped = %d, want 3", got)
+	}
+	if len(inner.sent) != 0 {
+		t.Fatalf("inner saw %d datagrams through a partition", len(inner.sent))
+	}
+}

@@ -436,6 +436,122 @@ func (t *Transport) Send(dst string, datagram []byte) error {
 	return inner.Send(dst, datagram)
 }
 
+// batchInner is the optional vectorized-send surface of an inner
+// transport (structurally core.BatchTransport's extra method, declared
+// locally for the same import-cycle reason as Inner).
+type batchInner interface {
+	SendBatch(dst string, datagrams [][]byte) (sent int, err error)
+}
+
+// SendBatch implements the engine's BatchTransport contract over the
+// fault plan. Every datagram is evaluated individually, under one
+// acquisition of the lock, in slice order — exactly the rule matching,
+// sequence counting, and rng draw order a loop of Sends would have
+// produced, so fault plans replay identically whether the engine batched
+// a burst or not. The surviving datagrams (minus drops, stalls, and
+// delays; plus duplicates) are forwarded in order, through the inner
+// transport's own SendBatch when it has one. sent is the prefix-count of
+// the contract: a datagram consumed by a fault counts as sent, and a
+// non-nil error names the datagram at index sent.
+func (t *Transport) SendBatch(dst string, datagrams [][]byte) (sent int, err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return 0, ErrClosed
+	}
+	// out collects the datagrams to forward; src maps each back to its
+	// index in the caller's slice (for error attribution). Both preserve
+	// slice order, so src is non-decreasing and sent stays a prefix count.
+	out := make([][]byte, 0, len(datagrams))
+	src := make([]int, 0, len(datagrams))
+	type delayed struct {
+		data  []byte
+		delay time.Duration
+	}
+	var delays []delayed
+	for i, d := range datagrams {
+		t.stats.Sent++
+		a := t.decide(Send, dst, len(d))
+		if !a.fired {
+			out = append(out, d)
+			src = append(src, i)
+			continue
+		}
+		switch a.kind {
+		case Drop:
+			// Consumed; the batch around it is untouched.
+		case Duplicate:
+			out = append(out, d, d)
+			src = append(src, i, i)
+		case Delay:
+			// The caller owns d once SendBatch returns; hold a copy and
+			// schedule it after the lock drops.
+			delays = append(delays, delayed{data: append([]byte(nil), d...), delay: a.delay})
+		case Truncate:
+			// A shorter prefix of the caller's buffer: no mutation, and
+			// the inner transport is done with it when SendBatch returns.
+			out = append(out, d[:a.keep])
+			src = append(src, i)
+		case Corrupt:
+			if len(d) == 0 {
+				out = append(out, d)
+			} else {
+				cp := append([]byte(nil), d...)
+				cp[a.offset] ^= a.bitMask
+				out = append(out, cp)
+			}
+			src = append(src, i)
+		case Stall:
+			t.stalled = append(t.stalled, stalledDatagram{
+				send: true, peer: dst, data: append([]byte(nil), d...),
+			})
+		default:
+			out = append(out, d)
+			src = append(src, i)
+		}
+	}
+	inner := t.inner
+	t.mu.Unlock()
+
+	for _, dl := range delays {
+		dl := dl
+		t.clock.AfterFunc(dl.delay, func() {
+			t.mu.Lock()
+			cur := t.inner
+			closed := t.closed
+			t.mu.Unlock()
+			if !closed {
+				_ = cur.Send(dst, dl.data)
+			}
+		})
+	}
+
+	if len(out) == 0 {
+		// Every datagram was consumed by a fault; per the contract that is
+		// a fully-sent batch.
+		return len(datagrams), nil
+	}
+	if bi, ok := inner.(batchInner); ok {
+		n, err := bi.SendBatch(dst, out)
+		if err != nil {
+			if n < 0 {
+				n = 0
+			}
+			if n >= len(out) {
+				n = len(out) - 1
+			}
+			return src[n], err
+		}
+		return len(datagrams), nil
+	}
+	for i, d := range out {
+		if err := inner.Send(dst, d); err != nil {
+			return src[i], err
+		}
+	}
+	return len(datagrams), nil
+}
+
 // onRecv runs incoming datagrams through the fault plan before the
 // installed handler sees them.
 func (t *Transport) onRecv(src string, datagram []byte) {

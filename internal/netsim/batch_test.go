@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"paccel/internal/vclock"
+)
+
+func burstOf(n int) [][]byte {
+	b := make([][]byte, n)
+	for i := range b {
+		b[i] = []byte(fmt.Sprintf("burst-%02d", i))
+	}
+	return b
+}
+
+// TestSendBatchSynchronousBurst checks the perfect-network guarantee the
+// engine tests rely on: a batched burst is delivered before SendBatch
+// returns, as one contiguous in-order run.
+func TestSendBatchSynchronousBurst(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n := New(clk, Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	var cap capture
+	b.SetHandler(cap.handler(clk))
+
+	burst := burstOf(8)
+	sent, err := a.SendBatch("b", burst)
+	if err != nil || sent != 8 {
+		t.Fatalf("SendBatch = (%d, %v), want (8, nil)", sent, err)
+	}
+	if cap.count() != 8 {
+		t.Fatalf("delivered %d datagrams synchronously, want 8", cap.count())
+	}
+	for i := range burst {
+		if !bytes.Equal(cap.got[i], burst[i]) {
+			t.Fatalf("delivery %d = %q, want %q", i, cap.got[i], burst[i])
+		}
+	}
+	st := n.Stats()
+	if st.BatchSends != 1 || st.BatchDatagrams != 8 {
+		t.Fatalf("BatchSends=%d BatchDatagrams=%d, want 1/8", st.BatchSends, st.BatchDatagrams)
+	}
+	if st.Sent != 8 || st.Delivered != 8 {
+		t.Fatalf("Sent=%d Delivered=%d, want 8/8", st.Sent, st.Delivered)
+	}
+}
+
+// TestSendBatchDeterministicReplay checks that a lossy network consumes
+// its rng draws identically whether a burst went through SendBatch or a
+// loop of Sends: same seed, same losses, same survivors.
+func TestSendBatchDeterministicReplay(t *testing.T) {
+	run := func(batched bool) ([][]byte, Stats) {
+		clk := vclock.NewManual(t0)
+		n := New(clk, Config{LossRate: 0.4, Seed: 42})
+		a, b := n.Endpoint("a"), n.Endpoint("b")
+		var cap capture
+		b.SetHandler(cap.handler(clk))
+		burst := burstOf(32)
+		if batched {
+			if sent, err := a.SendBatch("b", burst); err != nil || sent != 32 {
+				t.Fatalf("SendBatch = (%d, %v), want (32, nil)", sent, err)
+			}
+		} else {
+			for _, d := range burst {
+				if err := a.Send("b", d); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return cap.got, n.Stats()
+	}
+
+	gotLoop, stLoop := run(false)
+	gotBatch, stBatch := run(true)
+	if stLoop.Lost == 0 || stLoop.Lost == 32 {
+		t.Fatalf("degenerate loss pattern (%d/32 lost), test proves nothing", stLoop.Lost)
+	}
+	if stLoop.Lost != stBatch.Lost || stLoop.Delivered != stBatch.Delivered {
+		t.Fatalf("loss diverges: looped Lost=%d Delivered=%d, batched Lost=%d Delivered=%d",
+			stLoop.Lost, stLoop.Delivered, stBatch.Lost, stBatch.Delivered)
+	}
+	if len(gotLoop) != len(gotBatch) {
+		t.Fatalf("survivors diverge: %d vs %d", len(gotLoop), len(gotBatch))
+	}
+	for i := range gotLoop {
+		if !bytes.Equal(gotLoop[i], gotBatch[i]) {
+			t.Fatalf("survivor %d diverges: %q vs %q", i, gotLoop[i], gotBatch[i])
+		}
+	}
+}
+
+// TestSendBatchMidBatchError checks the prefix contract on a hard error:
+// an oversized datagram stops the batch at its index, with everything
+// before it already delivered.
+func TestSendBatchMidBatchError(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n := New(clk, Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	var cap capture
+	b.SetHandler(cap.handler(clk))
+
+	burst := burstOf(4)
+	burst[2] = make([]byte, DefaultMTU+1)
+	sent, err := a.SendBatch("b", burst)
+	if sent != 2 || err == nil {
+		t.Fatalf("SendBatch = (%d, %v), want (2, oversize error)", sent, err)
+	}
+	if cap.count() != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", cap.count())
+	}
+	if st := n.Stats(); st.BatchDatagrams != 2 {
+		t.Fatalf("BatchDatagrams = %d, want 2", st.BatchDatagrams)
+	}
+}

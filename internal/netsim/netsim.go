@@ -95,12 +95,16 @@ func PaperConfig() Config {
 type Stats struct {
 	Sent, Delivered, Lost, Duplicated, Reordered, Corrupted uint64
 	BytesSent                                               uint64
+	// BatchSends counts SendBatch calls; BatchDatagrams the datagrams they
+	// carried (each is also counted in Sent).
+	BatchSends, BatchDatagrams uint64
 }
 
 // netStats are the live counters, atomics so the send path never takes a
 // network-wide lock just to account for a datagram.
 type netStats struct {
 	sent, delivered, lost, duplicated, reordered, corrupted, bytesSent atomic.Uint64
+	batchSends, batchDatagrams                                         atomic.Uint64
 }
 
 // Network is a simulated datagram network.
@@ -176,6 +180,9 @@ func (n *Network) Stats() Stats {
 		Reordered:  n.stats.reordered.Load(),
 		Corrupted:  n.stats.corrupted.Load(),
 		BytesSent:  n.stats.bytesSent.Load(),
+
+		BatchSends:     n.stats.batchSends.Load(),
+		BatchDatagrams: n.stats.batchDatagrams.Load(),
 	}
 }
 
@@ -356,6 +363,29 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 		}
 	}
 	return nil
+}
+
+// SendBatch transmits the datagrams to dst in order, implementing the
+// engine's BatchTransport contract: sent is the prefix transmitted, and a
+// non-nil error describes the datagram at index sent (the rest were not
+// attempted). Each datagram goes through the same per-message fault and
+// delay machinery as Send, in slice order, so a simulation's rng draw
+// sequence — the deterministic-replay contract — is identical whether a
+// burst was batched or sent one datagram at a time. On the perfect
+// instantaneous network the whole burst is therefore delivered
+// synchronously, as one contiguous in-order run, before SendBatch returns.
+// Injected loss is not an error (the link accepted the datagram), matching
+// the contract's loss-is-not-failure rule.
+func (e *Endpoint) SendBatch(dst Addr, datagrams [][]byte) (sent int, err error) {
+	e.net.stats.batchSends.Add(1)
+	for i, d := range datagrams {
+		if err := e.Send(dst, d); err != nil {
+			e.net.stats.batchDatagrams.Add(uint64(i))
+			return i, err
+		}
+	}
+	e.net.stats.batchDatagrams.Add(uint64(len(datagrams)))
+	return len(datagrams), nil
 }
 
 type delivery struct {

@@ -1,0 +1,25 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udp
+
+import "net"
+
+// Portable stand-ins for the vectorized hooks in mmsg_linux.go: platforms
+// without sendmmsg/recvmmsg (or whose syscall.Msghdr layout the raw path
+// does not hardcode) keep the per-datagram loop behind the same SendBatch
+// interface, so the engine's batching logic is identical everywhere and
+// only the syscall amortization differs.
+
+// initOS has no per-OS setup to do on the portable path.
+func (t *Transport) initOS() {}
+
+// sendBatchWire degrades to one WriteToUDP per datagram.
+func (t *Transport) sendBatchWire(ua *net.UDPAddr, datagrams [][]byte) (int, error) {
+	return t.sendBatchLoop(ua, datagrams)
+}
+
+// readLoop is the plain per-datagram receive loop.
+func (t *Transport) readLoop() {
+	defer close(t.done)
+	t.readLoopGeneric()
+}

@@ -1,0 +1,301 @@
+//go:build linux && (amd64 || arm64)
+
+package udp
+
+// Vectorized I/O: raw sendmmsg/recvmmsg through the stdlib syscall
+// package (no new module dependencies). The build tag pins the two
+// 64-bit Linux ABIs whose syscall.Msghdr layout this file hardcodes
+// (Iovlen/Controllen are uint64 there); every other GOOS/GOARCH builds
+// the portable loop in mmsg_fallback.go instead.
+//
+// The batch send path chunks the burst into mmsgBatch headers per
+// sendmmsg call; header/iovec/sockaddr scratch comes from a sync.Pool so
+// the steady-state path allocates nothing. The receive loop reads up to
+// mmsgBatch datagrams per recvmmsg into a buffer ring allocated once per
+// transport; the ring slots are only reused after every handler of the
+// previous batch has returned, which preserves the documented
+// borrow-only buffer contract.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgBatch is the most datagrams one sendmmsg/recvmmsg call carries.
+// Bursts from the engine's flush paths are typically far smaller (a
+// window of retransmits, a kicked backlog); 64 covers them all in one
+// syscall without an oversized ring.
+const mmsgBatch = 64
+
+// recvBufSize is one receive-ring slot: any legal UDP payload fits.
+const recvBufSize = 65536
+
+// mmsghdr mirrors the kernel's struct mmsghdr on the 64-bit ABIs the
+// build tag selects (msghdr is 56 bytes there, so the struct pads to 64).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// sendState is the pooled per-call scratch for one sendmmsg batch.
+type sendState struct {
+	hdrs [mmsgBatch]mmsghdr
+	iovs [mmsgBatch]syscall.Iovec
+	sa4  syscall.RawSockaddrInet4
+	sa6  syscall.RawSockaddrInet6
+}
+
+var sendPool = sync.Pool{New: func() any { return new(sendState) }}
+
+// zeroByte anchors the iovec of an empty datagram (the kernel rejects a
+// nil base only in some paths; never hand it one).
+var zeroByte byte
+
+// initOS learns the socket's address family so the raw send path builds
+// sockaddrs the kernel accepts (an AF_INET6 dual-stack socket needs
+// v4-mapped targets). Any failure leaves family 0 and the batch path
+// falls back to the portable loop.
+func (t *Transport) initOS() {
+	rc, err := t.conn.SyscallConn()
+	if err != nil {
+		return
+	}
+	_ = rc.Control(func(fd uintptr) {
+		sa, err := syscall.Getsockname(int(fd))
+		if err != nil {
+			return
+		}
+		switch sa.(type) {
+		case *syscall.SockaddrInet4:
+			t.family = syscall.AF_INET
+		case *syscall.SockaddrInet6:
+			t.family = syscall.AF_INET6
+		}
+	})
+}
+
+// sockaddr encodes ua into the state's raw sockaddr for this socket's
+// family. ok is false for shapes the raw path cannot encode (unknown
+// family, zoned IPv6, a v6 target on a v4 socket); the caller then uses
+// the portable loop, which lets the stdlib handle them.
+func (st *sendState) sockaddr(t *Transport, ua *net.UDPAddr) (name *byte, namelen uint32, ok bool) {
+	if ua.Zone != "" {
+		return nil, 0, false
+	}
+	ip4 := ua.IP.To4()
+	switch t.family {
+	case syscall.AF_INET:
+		if ip4 == nil {
+			return nil, 0, false
+		}
+		st.sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&st.sa4.Port))
+		p[0], p[1] = byte(ua.Port>>8), byte(ua.Port)
+		copy(st.sa4.Addr[:], ip4)
+		return (*byte)(unsafe.Pointer(&st.sa4)), syscall.SizeofSockaddrInet4, true
+	case syscall.AF_INET6:
+		ip16 := ua.IP.To16() // maps v4 targets to ::ffff:a.b.c.d
+		if ip16 == nil {
+			return nil, 0, false
+		}
+		st.sa6 = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		p := (*[2]byte)(unsafe.Pointer(&st.sa6.Port))
+		p[0], p[1] = byte(ua.Port>>8), byte(ua.Port)
+		copy(st.sa6.Addr[:], ip16)
+		return (*byte)(unsafe.Pointer(&st.sa6)), syscall.SizeofSockaddrInet6, true
+	}
+	return nil, 0, false
+}
+
+// sendBatchWire drains the burst with sendmmsg, chunking at mmsgBatch
+// headers per call. The kernel may transmit a prefix of a chunk; the
+// loop resumes at the first unsent datagram, so sent is always an exact
+// prefix count and an error names the datagram at index sent.
+func (t *Transport) sendBatchWire(ua *net.UDPAddr, datagrams [][]byte) (int, error) {
+	rc, err := t.conn.SyscallConn()
+	if err != nil {
+		return t.sendBatchLoop(ua, datagrams)
+	}
+	st := sendPool.Get().(*sendState)
+	defer sendPool.Put(st)
+	name, namelen, ok := st.sockaddr(t, ua)
+	if !ok {
+		return t.sendBatchLoop(ua, datagrams)
+	}
+
+	sent := 0
+	for sent < len(datagrams) {
+		// Fill up to mmsgBatch headers, stopping short of an oversized
+		// datagram so everything before it still goes down in one call.
+		k := 0
+		for sent+k < len(datagrams) && k < mmsgBatch {
+			d := datagrams[sent+k]
+			if len(d) > MaxDatagram {
+				if k == 0 {
+					return sent, fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(d), MaxDatagram)
+				}
+				break
+			}
+			iov := &st.iovs[k]
+			if len(d) > 0 {
+				iov.Base = &d[0]
+			} else {
+				iov.Base = &zeroByte
+			}
+			iov.Len = uint64(len(d))
+			h := &st.hdrs[k]
+			h.hdr = syscall.Msghdr{Name: name, Namelen: namelen, Iov: iov, Iovlen: 1}
+			h.len = 0
+			k++
+		}
+
+		var n int
+		var errno syscall.Errno
+		werr := rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&st.hdrs[0])), uintptr(k),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN || e == syscall.EINTR {
+				return false // wait for writability, then retry
+			}
+			n, errno = int(r1), e
+			return true
+		})
+		if werr != nil {
+			return sent, werr
+		}
+		if errno != 0 {
+			return sent, fmt.Errorf("udp: sendmmsg: %w", errno)
+		}
+		if n <= 0 {
+			return sent, errors.New("udp: sendmmsg made no progress")
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// readLoop is the vectorized receive loop: one recvmmsg call drains up
+// to mmsgBatch queued datagrams into the ring, then the handler runs
+// once per datagram in arrival order. Ring slots are reused only on the
+// next recvmmsg, after every handler of this batch has returned.
+func (t *Transport) readLoop() {
+	defer close(t.done)
+	rc, err := t.conn.SyscallConn()
+	if err != nil {
+		t.readLoopGeneric()
+		return
+	}
+
+	ring := make([]byte, mmsgBatch*recvBufSize)
+	var (
+		hdrs  [mmsgBatch]mmsghdr
+		iovs  [mmsgBatch]syscall.Iovec
+		names [mmsgBatch]syscall.RawSockaddrAny
+	)
+	for i := range hdrs {
+		iovs[i].Base = &ring[i*recvBufSize]
+		iovs[i].Len = recvBufSize
+		hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&names[i]))
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+	}
+
+	var lastRaw syscall.RawSockaddrAny
+	var lastSrc string
+	for {
+		for i := range hdrs {
+			hdrs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+			hdrs[i].len = 0
+		}
+		var n int
+		var errno syscall.Errno
+		rerr := rc.Read(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), mmsgBatch,
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN || e == syscall.EINTR {
+				return false // wait for readability
+			}
+			n, errno = int(r1), e
+			return true
+		})
+		if rerr != nil {
+			return // closed
+		}
+		if errno != 0 || n <= 0 {
+			return
+		}
+		t.stats.batchRecvs.Add(1)
+		t.stats.recvDatagrams.Add(uint64(n))
+
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			// Cache the stringified source: traffic is typically runs
+			// of datagrams from the same peer, and building the string
+			// allocates.
+			if !rawAddrEqual(&names[i], &lastRaw) {
+				lastRaw = names[i]
+				lastSrc = rawAddrString(&names[i])
+			}
+			h(lastSrc, ring[i*recvBufSize:i*recvBufSize+int(hdrs[i].len)])
+		}
+	}
+}
+
+// rawAddrEqual compares the family-meaningful prefix of two raw
+// sockaddrs. Slots keep stale bytes from earlier peers past the written
+// length, so a whole-struct compare would mis-report runs.
+func rawAddrEqual(a, b *syscall.RawSockaddrAny) bool {
+	if a.Addr.Family != b.Addr.Family {
+		return false
+	}
+	var n uintptr
+	switch a.Addr.Family {
+	case syscall.AF_INET:
+		n = syscall.SizeofSockaddrInet4
+	case syscall.AF_INET6:
+		n = syscall.SizeofSockaddrInet6
+	default:
+		return false
+	}
+	ab := (*[syscall.SizeofSockaddrAny]byte)(unsafe.Pointer(a))[:n]
+	bb := (*[syscall.SizeofSockaddrAny]byte)(unsafe.Pointer(b))[:n]
+	return bytes.Equal(ab, bb)
+}
+
+// rawAddrString renders a raw sockaddr as the host:port form the rest of
+// the system keys peers by, matching what net.UDPAddr.String would have
+// produced for the same datagram (v4-mapped v6 prints as plain v4).
+func rawAddrString(sa *syscall.RawSockaddrAny) string {
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		ua := net.UDPAddr{IP: net.IP(sa4.Addr[:]), Port: int(p[0])<<8 | int(p[1])}
+		return ua.String()
+	case syscall.AF_INET6:
+		sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa6.Port))
+		ua := net.UDPAddr{IP: net.IP(sa6.Addr[:]), Port: int(p[0])<<8 | int(p[1])}
+		if sa6.Scope_id != 0 {
+			// Numeric zone: the rare link-local case; good enough for a
+			// routing key, and it avoids an interface-table lookup here.
+			ua.Zone = strconv.FormatUint(uint64(sa6.Scope_id), 10)
+		}
+		return ua.String()
+	}
+	return "?"
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udp
+
+// The frozen stdlib syscall tables on amd64 predate sendmmsg (kernel
+// 3.0), so the numbers are pinned here per architecture.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udp
+
+// arm64 syscall numbers for the vectorized datagram calls (pinned here
+// alongside the amd64 ones so both ABIs read from one place).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

@@ -2,6 +2,13 @@
 // contract as package netsim, so the Protocol Accelerator can run between
 // OS processes (cmd/paping). UDP is the closest commodity stand-in for the
 // paper's U-Net interface: message-oriented, unreliable, unordered.
+//
+// On Linux (amd64/arm64) the transport is vectorized: SendBatch drains a
+// burst of datagrams with one sendmmsg system call, and the receive loop
+// reads with recvmmsg into a pooled buffer ring, so the per-datagram
+// syscall cost is amortized over the bursts the engine's flush paths
+// produce. Every other platform keeps the portable per-datagram loop
+// behind the same interface (see DESIGN.md §11 for the build-tag matrix).
 package udp
 
 import (
@@ -9,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by Send after Close.
@@ -28,9 +36,18 @@ var resolveUDPAddr = net.ResolveUDPAddr
 
 // Transport is an unreliable datagram endpoint over a UDP socket. Its
 // Send/SetHandler/LocalAddr/Close surface mirrors netsim.Endpoint, keyed
-// by string addresses in host:port form.
+// by string addresses in host:port form. It additionally implements the
+// engine's batched-send contract (core.BatchTransport) via SendBatch.
 type Transport struct {
 	conn *net.UDPConn
+
+	// family is the socket's address family (AF_INET/AF_INET6), learned
+	// once at Listen on the vectorized platforms so sendmmsg builds the
+	// right raw sockaddr (a dual-stack socket needs v4-mapped targets).
+	// Zero means unknown; the batch path then falls back to the loop.
+	family uint16
+
+	stats transportStats
 
 	mu        sync.Mutex
 	handler   func(src string, datagram []byte)
@@ -38,6 +55,40 @@ type Transport struct {
 	resolving map[string]*resolveOp
 	closed    bool
 	done      chan struct{}
+}
+
+// transportStats are the vectorized-I/O counters, atomics because sends
+// and the receive loop touch them concurrently.
+type transportStats struct {
+	batchSends     atomic.Uint64
+	batchDatagrams atomic.Uint64
+	batchRecvs     atomic.Uint64
+	recvDatagrams  atomic.Uint64
+}
+
+// Stats is a snapshot of the transport's vectorized-I/O counters.
+type Stats struct {
+	BatchSends     uint64 // SendBatch calls issued
+	BatchDatagrams uint64 // datagrams those calls transmitted
+	BatchRecvs     uint64 // batched reads completed (recvmmsg returns)
+	RecvDatagrams  uint64 // datagrams those reads carried
+}
+
+// Stats returns a snapshot of the vectorized-I/O counters. On platforms
+// without sendmmsg/recvmmsg, BatchSends/BatchDatagrams still count the
+// (looped) SendBatch calls while the recv counters stay zero.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		BatchSends:     t.stats.batchSends.Load(),
+		BatchDatagrams: t.stats.batchDatagrams.Load(),
+		BatchRecvs:     t.stats.batchRecvs.Load(),
+		RecvDatagrams:  t.stats.recvDatagrams.Load(),
+	}
+}
+
+// RecvBatchStats implements the engine's optional RecvBatcher interface.
+func (t *Transport) RecvBatchStats() (batches, datagrams uint64) {
+	return t.stats.batchRecvs.Load(), t.stats.recvDatagrams.Load()
 }
 
 // resolveOp is the single-flight state for one in-progress resolution:
@@ -66,6 +117,7 @@ func Listen(addr string) (*Transport, error) {
 		resolving: make(map[string]*resolveOp),
 		done:      make(chan struct{}),
 	}
+	t.initOS()
 	go t.readLoop()
 	return t, nil
 }
@@ -83,6 +135,48 @@ func (t *Transport) SetHandler(h func(src string, datagram []byte)) {
 	t.handler = h
 }
 
+// resolve returns the cached address for dst, resolving it once if
+// needed. Destination addresses are resolved once and cached; concurrent
+// callers for the same new peer share a single resolution, and a batch
+// resolves its destination once for the whole burst.
+func (t *Transport) resolve(dst string) (*net.UDPAddr, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ua := t.peers[dst]
+	if ua != nil {
+		t.mu.Unlock()
+		return ua, nil
+	}
+	op := t.resolving[dst]
+	if op == nil {
+		// First caller resolves; later ones wait on op.done.
+		op = &resolveOp{done: make(chan struct{})}
+		t.resolving[dst] = op
+		t.mu.Unlock()
+		op.addr, op.err = resolveUDPAddr("udp", dst)
+		close(op.done)
+		t.mu.Lock()
+		delete(t.resolving, dst)
+		// Skip the cache insert if Close won the race: a write
+		// after Close would resurrect state the shutdown already
+		// swept.
+		if op.err == nil && !t.closed {
+			t.peers[dst] = op.addr
+		}
+		t.mu.Unlock()
+	} else {
+		t.mu.Unlock()
+		<-op.done
+	}
+	if op.err != nil {
+		return nil, op.err
+	}
+	return op.addr, nil
+}
+
 // Send transmits one datagram to dst (host:port). Destination addresses
 // are resolved once and cached; concurrent Sends to the same new peer
 // share a single resolution.
@@ -90,43 +184,47 @@ func (t *Transport) Send(dst string, datagram []byte) error {
 	if len(datagram) > MaxDatagram {
 		return fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(datagram), MaxDatagram)
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrClosed
+	ua, err := t.resolve(dst)
+	if err != nil {
+		return err
 	}
-	ua := t.peers[dst]
-	var op *resolveOp
-	if ua == nil {
-		if op = t.resolving[dst]; op == nil {
-			// First sender resolves; later ones wait on op.done.
-			op = &resolveOp{done: make(chan struct{})}
-			t.resolving[dst] = op
-			t.mu.Unlock()
-			op.addr, op.err = resolveUDPAddr("udp", dst)
-			close(op.done)
-			t.mu.Lock()
-			delete(t.resolving, dst)
-			// Skip the cache insert if Close won the race: a write
-			// after Close would resurrect state the shutdown already
-			// swept.
-			if op.err == nil && !t.closed {
-				t.peers[dst] = op.addr
-			}
-			t.mu.Unlock()
-		} else {
-			t.mu.Unlock()
-			<-op.done
-		}
-		if op.err != nil {
-			return op.err
-		}
-		ua = op.addr
-	} else {
-		t.mu.Unlock()
-	}
-	_, err := t.conn.WriteToUDP(datagram, ua)
+	_, err = t.conn.WriteToUDP(datagram, ua)
 	return err
+}
+
+// SendBatch transmits the datagrams to dst in order — one sendmmsg
+// system call per chunk on Linux, a WriteToUDP loop elsewhere. It
+// implements the engine's BatchTransport contract: sent is the prefix of
+// datagrams transmitted, and a non-nil error describes the datagram at
+// index sent (the rest were not attempted). The destination is resolved
+// once for the whole batch.
+func (t *Transport) SendBatch(dst string, datagrams [][]byte) (sent int, err error) {
+	if len(datagrams) == 0 {
+		return 0, nil
+	}
+	ua, err := t.resolve(dst)
+	if err != nil {
+		return 0, err
+	}
+	t.stats.batchSends.Add(1)
+	sent, err = t.sendBatchWire(ua, datagrams)
+	t.stats.batchDatagrams.Add(uint64(sent))
+	return sent, err
+}
+
+// sendBatchLoop is the portable batch body: one WriteToUDP per datagram.
+// The vectorized platforms also fall back to it for address shapes the
+// raw path cannot encode (zoned IPv6).
+func (t *Transport) sendBatchLoop(ua *net.UDPAddr, datagrams [][]byte) (int, error) {
+	for i, d := range datagrams {
+		if len(d) > MaxDatagram {
+			return i, fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(d), MaxDatagram)
+		}
+		if _, err := t.conn.WriteToUDP(d, ua); err != nil {
+			return i, err
+		}
+	}
+	return len(datagrams), nil
 }
 
 // Close shuts the socket down and stops the receive loop.
@@ -143,8 +241,10 @@ func (t *Transport) Close() error {
 	return err
 }
 
-func (t *Transport) readLoop() {
-	defer close(t.done)
+// readLoopGeneric is the portable per-datagram receive loop; the
+// vectorized platforms fall back to it when the raw socket is not
+// reachable (SyscallConn failure).
+func (t *Transport) readLoopGeneric() {
 	buf := make([]byte, 65536)
 	var lastAddr net.UDPAddr
 	var lastSrc string

@@ -72,6 +72,12 @@ type (
 	PeerSpec = core.PeerSpec
 	// Transport is the unreliable datagram contract (U-Net-like).
 	Transport = core.Transport
+	// BatchTransport is the optional vectorized-send extension of
+	// Transport: the engine's transmit flush drains a whole burst per
+	// SendBatch call instead of paying one Send per datagram (Linux
+	// sendmmsg on the UDP transport; see DESIGN.md §11). All three
+	// shipped transports implement it.
+	BatchTransport = core.BatchTransport
 	// StackBuilder constructs a connection's protocol stack.
 	StackBuilder = core.StackBuilder
 	// IdentInfo is a parsed incoming connection identification.
@@ -186,6 +192,14 @@ func NewFaultTransport(inner Transport, seed int64, rules ...FaultRule) *FaultTr
 // The fault injector's locally declared transport interface must remain
 // structurally identical to the engine's Transport contract.
 var _ Transport = (*FaultTransport)(nil)
+
+// Every shipped transport must keep satisfying the engine's vectorized
+// send contract, so endpoints over any of them batch their tx flushes.
+var (
+	_ BatchTransport = (*udp.Transport)(nil)
+	_ BatchTransport = (*netsim.Endpoint)(nil)
+	_ BatchTransport = (*FaultTransport)(nil)
+)
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to a transport.
 func NewEndpoint(cfg Config) (*Endpoint, error) { return core.NewEndpoint(cfg) }
