@@ -33,9 +33,15 @@
 // same engine restricted to one syscall per datagram, plus an in-memory
 // reference run; -json writes its machine-readable baseline (BENCH_4.json).
 //
+// The telemetry experiment measures the observability layer's overhead:
+// the round-trip fast path with the recorder disabled, enabled at the
+// default 1-in-8 duration sampling, and enabled unsampled, plus the
+// instrumented fast path's alloc counts and the histograms the enabled
+// run recorded; -json writes its baseline (BENCH_5.json).
+//
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|telemetry] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -47,11 +53,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, telemetry")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, or batch: also write the machine-readable baseline to this file")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, or telemetry: also write the machine-readable baseline to this file")
 	seed := flag.Int64("seed", 0, "with -exp faults or recovery: schedule seed (0 = fixed default)")
 	flag.Parse()
 
@@ -139,6 +145,14 @@ func main() {
 			batch(*quick, *jsonPath)
 		}
 	}
+	if run("telemetry") {
+		any = true
+		if *simOnly {
+			fmt.Println("telemetry: skipped (real-hardware measurement only)")
+		} else {
+			telemetryExp(*quick, *jsonPath)
+		}
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -174,6 +188,17 @@ func recovery(quick bool, seed int64, jsonPath string) {
 	fmt.Println(experiments.RecoveryReport(res))
 	if jsonPath != "" {
 		out, err := experiments.RecoveryJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func telemetryExp(quick bool, jsonPath string) {
+	res, err := experiments.Telemetry(quick)
+	fail(err)
+	fmt.Println(experiments.TelemetryReport(res))
+	if jsonPath != "" {
+		out, err := experiments.TelemetryJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line: its ns/op and, when -benchmem was
+// on, its allocs/op.
+type sample struct {
+	nsOp     float64
+	allocsOp float64
+	hasAlloc bool
+}
+
+// parseBench extracts benchmark samples from `go test -bench` output,
+// keyed by benchmark name with the -cpu suffix stripped (so baselines
+// travel between machines with different core counts). Repetitions from
+// -count accumulate per key.
+func parseBench(out string) (map[string][]sample, error) {
+	res := make(map[string][]sample)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var s sample
+		seenNs := false
+		// Values come as "number unit" pairs after the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsOp = v
+				seenNs = true
+			case "allocs/op":
+				s.allocsOp = v
+				s.hasAlloc = true
+			}
+		}
+		if !seenNs {
+			continue
+		}
+		res[name] = append(res[name], s)
+	}
+	return res, nil
+}
+
+// median returns the middle value (mean of the two middles for even n).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Row is one benchmark's comparison.
+type Row struct {
+	Name              string
+	BaseNsOp, CurNsOp float64 // medians
+	Ratio             float64 // cur/base
+	BaseAllocs        float64
+	CurAllocs         float64
+	AllocGated        bool // name contains "Allocs": any increase fails
+	AllocIncrease     bool
+	BaseRuns, CurRuns int
+}
+
+// Report is the comparison outcome.
+type Report struct {
+	Rows      []Row
+	Geomean   float64 // geometric mean of time ratios
+	Threshold float64 // fraction, e.g. 0.10
+	Missing   []string
+}
+
+// Pass reports whether the gate passes.
+func (r *Report) Pass() bool {
+	if r.Geomean > 1+r.Threshold {
+		return false
+	}
+	for _, row := range r.Rows {
+		if row.AllocIncrease {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare parses both outputs and evaluates the gate. threshold is a
+// fraction (0.10 = 10%). Benchmarks only present on one side are listed
+// in Missing but do not fail the gate — renames land with a baseline
+// update in the same PR.
+func Compare(baseline, current string, threshold float64) (*Report, error) {
+	base, err := parseBench(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := parseBench(current)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	rep := &Report{Threshold: threshold, Geomean: 1}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	logSum, compared := 0.0, 0
+	for _, name := range names {
+		bs, ok := cur[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name+" (not in current)")
+			continue
+		}
+		var bNs, cNs, bAl, cAl []float64
+		for _, s := range base[name] {
+			bNs = append(bNs, s.nsOp)
+			if s.hasAlloc {
+				bAl = append(bAl, s.allocsOp)
+			}
+		}
+		for _, s := range bs {
+			cNs = append(cNs, s.nsOp)
+			if s.hasAlloc {
+				cAl = append(cAl, s.allocsOp)
+			}
+		}
+		row := Row{
+			Name: name, BaseRuns: len(bNs), CurRuns: len(cNs),
+			BaseNsOp: median(bNs), CurNsOp: median(cNs),
+			BaseAllocs: median(bAl), CurAllocs: median(cAl),
+			AllocGated: strings.Contains(name, "Allocs"),
+		}
+		if row.BaseNsOp > 0 {
+			row.Ratio = row.CurNsOp / row.BaseNsOp
+			logSum += math.Log(row.Ratio)
+			compared++
+		}
+		if row.AllocGated && len(bAl) > 0 && len(cAl) > 0 &&
+			row.CurAllocs > row.BaseAllocs {
+			row.AllocIncrease = true
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.Missing = append(rep.Missing, name+" (not in baseline)")
+		}
+	}
+	sort.Strings(rep.Missing)
+	if compared > 0 {
+		rep.Geomean = math.Exp(logSum / float64(compared))
+	}
+	if compared == 0 && len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("no common benchmarks between baseline and current")
+	}
+	return rep, nil
+}
+
+// Format renders the report for the CI log.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perfgate: median-over-repetitions comparison, threshold +%.0f%%\n", r.Threshold*100)
+	fmt.Fprintf(&b, "  %-32s %12s %12s %8s %14s\n", "benchmark", "base-ns/op", "cur-ns/op", "ratio", "allocs b→c")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.AllocIncrease {
+			mark = "  ALLOC REGRESSION"
+		}
+		fmt.Fprintf(&b, "  %-32s %12.0f %12.0f %8.3f %8.1f→%-5.1f%s\n",
+			row.Name, row.BaseNsOp, row.CurNsOp, row.Ratio,
+			row.BaseAllocs, row.CurAllocs, mark)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "  skipped: %s\n", m)
+	}
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "  geomean %.3f (limit %.3f): %s\n", r.Geomean, 1+r.Threshold, verdict)
+	return b.String()
+}

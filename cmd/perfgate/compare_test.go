@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchOut fabricates `go test -bench -benchmem -count=n` output with the
+// given per-benchmark ns/op and allocs/op.
+func benchOut(count int, rows map[string][2]float64) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: paccel\n")
+	for name, v := range rows {
+		for i := 0; i < count; i++ {
+			// Small deterministic spread so medians do real work.
+			jitter := 1 + 0.01*float64(i%3)
+			fmt.Fprintf(&b, "%s-8 \t 1000 \t %.0f ns/op \t 64 B/op \t %.0f allocs/op\n",
+				name, v[0]*jitter, v[1])
+		}
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+func TestGatePassesOnIdenticalRuns(t *testing.T) {
+	out := benchOut(6, map[string][2]float64{
+		"BenchmarkRoundTrip":         {3400, 12},
+		"BenchmarkFastSendAllocs":    {590, 0},
+		"BenchmarkFastDeliverAllocs": {190, 0},
+	})
+	rep, err := Compare(out, out, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Fatalf("identical runs must pass:\n%s", rep.Format())
+	}
+	if rep.Geomean < 0.999 || rep.Geomean > 1.001 {
+		t.Fatalf("geomean = %f, want 1", rep.Geomean)
+	}
+}
+
+// TestGateFailsOnSeededRegression is the acceptance check: a synthetic
+// 20% time regression on every benchmark must trip the 10% gate.
+func TestGateFailsOnSeededRegression(t *testing.T) {
+	base := benchOut(6, map[string][2]float64{
+		"BenchmarkRoundTrip":      {3400, 12},
+		"BenchmarkSendOneWay":     {1040, 1},
+		"BenchmarkFastSendAllocs": {590, 0},
+	})
+	cur := benchOut(6, map[string][2]float64{
+		"BenchmarkRoundTrip":      {3400 * 1.2, 12},
+		"BenchmarkSendOneWay":     {1040 * 1.2, 1},
+		"BenchmarkFastSendAllocs": {590 * 1.2, 0},
+	})
+	rep, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("20%% regression must fail the 10%% gate:\n%s", rep.Format())
+	}
+	if rep.Geomean < 1.15 {
+		t.Fatalf("geomean = %f, want ~1.2", rep.Geomean)
+	}
+}
+
+// TestGateToleratesRegressionOnOneBench: the gate is a geomean, so one
+// slow benchmark inside an otherwise-flat suite stays under 10%.
+func TestGateToleratesSingleOutlierUnderGeomean(t *testing.T) {
+	base := benchOut(6, map[string][2]float64{
+		"BenchmarkA": {1000, 0}, "BenchmarkB": {1000, 0},
+		"BenchmarkC": {1000, 0}, "BenchmarkD": {1000, 0},
+	})
+	cur := benchOut(6, map[string][2]float64{
+		"BenchmarkA": {1250, 0}, "BenchmarkB": {1000, 0},
+		"BenchmarkC": {1000, 0}, "BenchmarkD": {1000, 0},
+	})
+	rep, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// geomean = 1.25^(1/4) ≈ 1.057 < 1.10
+	if !rep.Pass() {
+		t.Fatalf("one-bench outlier under geomean limit must pass:\n%s", rep.Format())
+	}
+}
+
+func TestGateFailsOnAllocIncrease(t *testing.T) {
+	base := benchOut(6, map[string][2]float64{
+		"BenchmarkRoundTrip":      {3400, 12},
+		"BenchmarkFastSendAllocs": {590, 0},
+	})
+	cur := benchOut(6, map[string][2]float64{
+		"BenchmarkRoundTrip":      {3400, 12},
+		"BenchmarkFastSendAllocs": {590, 1}, // fast path grew an alloc
+	})
+	rep, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("fast-path alloc increase must fail even with flat times:\n%s", rep.Format())
+	}
+}
+
+func TestGateIgnoresAllocJitterOffFastPath(t *testing.T) {
+	// RoundTrip is not alloc-gated (no "Allocs" in the name): channel and
+	// scheduler allocations jitter there, and the time geomean already
+	// covers it.
+	base := benchOut(6, map[string][2]float64{"BenchmarkRoundTrip": {3400, 12}})
+	cur := benchOut(6, map[string][2]float64{"BenchmarkRoundTrip": {3400, 13}})
+	rep, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Fatalf("non-gated alloc jitter must not fail:\n%s", rep.Format())
+	}
+}
+
+func TestMissingBenchmarksAreReportedNotFatal(t *testing.T) {
+	base := benchOut(3, map[string][2]float64{
+		"BenchmarkRoundTrip": {3400, 12}, "BenchmarkGone": {100, 0},
+	})
+	cur := benchOut(3, map[string][2]float64{
+		"BenchmarkRoundTrip": {3400, 12}, "BenchmarkNew": {100, 0},
+	})
+	rep, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Fatalf("rename must not fail the gate:\n%s", rep.Format())
+	}
+	if len(rep.Missing) != 2 {
+		t.Fatalf("missing = %v, want both sides reported", rep.Missing)
+	}
+}
+
+func TestNoCommonBenchmarksIsAnError(t *testing.T) {
+	base := benchOut(1, map[string][2]float64{"BenchmarkA": {100, 0}})
+	cur := "PASS\n"
+	if _, err := Compare(base, cur, 0.10); err == nil {
+		t.Fatal("want error when nothing can be compared")
+	}
+}
+
+func TestParseStripsCPUSuffixAndAggregatesCounts(t *testing.T) {
+	out := "BenchmarkX-16 \t 10 \t 100 ns/op\nBenchmarkX-16 \t 10 \t 120 ns/op\nBenchmarkX-16 \t 10 \t 110 ns/op\n"
+	m, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m["BenchmarkX"]) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(m["BenchmarkX"]))
+	}
+	if med := median([]float64{100, 120, 110}); med != 110 {
+		t.Fatalf("median = %f", med)
+	}
+}

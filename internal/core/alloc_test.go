@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"paccel/internal/bits"
+	"paccel/internal/layers"
+	"paccel/internal/netsim"
+	"paccel/internal/stack"
+	"paccel/internal/telemetry"
+	"paccel/internal/vclock"
+)
+
+// leanBuild is the checksum + fragmentation + identification stack: the
+// configuration whose steady state the engine promises is allocation-free
+// (no window layer, so no ack/retransmit timer machinery behind the
+// measurement).
+func leanBuild(spec PeerSpec, order bits.ByteOrder) ([]stack.Layer, error) {
+	return []stack.Layer{
+		layers.NewChksum(),
+		layers.NewFrag(),
+		&layers.Ident{
+			Local: spec.LocalID, Remote: spec.RemoteID,
+			LocalPort: spec.LocalPort, RemotePort: spec.RemotePort,
+			Epoch: spec.Epoch, Order: order,
+		},
+	}, nil
+}
+
+// noBatch strips the SendBatch method from a transport so the engine's
+// transmit flush falls back to one Send per datagram.
+type noBatch struct{ Transport }
+
+// allocTap remembers the last datagram the wrapped transport delivered,
+// so the deliver subtest can capture a fast-path wire frame for replay.
+type allocTap struct {
+	Transport
+	mu   sync.Mutex
+	last []byte
+}
+
+func (t *allocTap) SetHandler(h func(src string, datagram []byte)) {
+	t.Transport.SetHandler(func(src string, datagram []byte) {
+		t.mu.Lock()
+		t.last = append(t.last[:0], datagram...)
+		t.mu.Unlock()
+		h(src, datagram)
+	})
+}
+
+// TestAllocBudget is the allocation gate for the engine's fast paths:
+// steady-state send (flushed through SendBatch), send with the batch
+// interface hidden (per-datagram flush), and routed delivery must all run
+// at exactly 0 allocs/op — with telemetry disabled and with telemetry
+// enabled at TelemetrySampleEvery=1, so the instrumentation itself
+// (counter bump, clock reads, histogram record) is proven alloc-free too.
+// CI runs this test on every push; a regression here fails the build
+// before the perf gate ever sees it.
+func TestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; CI runs this test in its own non-race step")
+	}
+	for _, tc := range []struct {
+		name string
+		rec  *telemetry.Recorder
+	}{
+		{"telemetry-off", nil},
+		{"telemetry-on", telemetry.New(telemetry.Options{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Run("send", func(t *testing.T) { allocSend(t, tc.rec, false) })
+			t.Run("send-unbatched", func(t *testing.T) { allocSend(t, tc.rec, true) })
+			t.Run("deliver", func(t *testing.T) { allocDeliver(t, tc.rec) })
+		})
+	}
+}
+
+// allocSend asserts the steady-state send over the instantaneous network
+// is allocation-free. The far side's delivery runs inside the same call,
+// so the budget covers the whole send+flush+route+deliver chain.
+func allocSend(t *testing.T, rec *telemetry.Recorder, hideBatch bool) {
+	t.Helper()
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	cfg := func(addr string) Config {
+		var tr Transport = net.Endpoint(addr)
+		if hideBatch {
+			tr = noBatch{tr}
+		}
+		return Config{
+			Transport: tr, Build: leanBuild,
+			Telemetry: rec, TelemetrySampleEvery: 1,
+		}
+	}
+	epA, err := NewEndpoint(cfg("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := NewEndpoint(cfg("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	sa, sb := specAB()
+	a, err := epA.Dial(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epB.Dial(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.OnDeliver(func([]byte) {})
+	payload := make([]byte, 32)
+	for i := 0; i < 256; i++ { // warm pools, prime prediction
+		if err := a.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sendErr error
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := a.Send(payload); err != nil {
+			sendErr = err
+		}
+	})
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("send fast path: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// allocDeliver asserts the routed delivery path alone — transport handler,
+// cookie router, packet filter, fast-path delivery, application callback —
+// is allocation-free, by replaying one captured cookie-only frame straight
+// into the endpoint's receive handler.
+func allocDeliver(t *testing.T, rec *telemetry.Recorder) {
+	t.Helper()
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	tap := &allocTap{Transport: net.Endpoint("S")}
+	server, err := NewEndpoint(Config{
+		Transport: tap, Build: leanBuild,
+		Telemetry: rec, TelemetrySampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := NewEndpoint(Config{Transport: net.Endpoint("C"), Build: leanBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Pre-agreed cookies on both sides keep every frame cookie-only.
+	sc, err := server.Dial(PeerSpec{
+		Addr: "C", LocalID: []byte("server"), RemoteID: []byte("client"),
+		LocalPort: 2000, RemotePort: 1000, Epoch: 1,
+		OutCookie: 0xc11e, ExpectInCookie: 0x5eed, SkipFirstConnID: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.OnDeliver(func([]byte) {})
+	cc, err := client.Dial(PeerSpec{
+		Addr: "S", LocalID: []byte("client"), RemoteID: []byte("server"),
+		LocalPort: 1000, RemotePort: 2000, Epoch: 1,
+		OutCookie: 0x5eed, ExpectInCookie: 0xc11e, SkipFirstConnID: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Send([]byte("capture!")); err != nil {
+		t.Fatal(err)
+	}
+	tap.mu.Lock()
+	frame := append([]byte(nil), tap.last...)
+	tap.mu.Unlock()
+	if len(frame) == 0 {
+		t.Fatal("no frame captured")
+	}
+	for i := 0; i < 256; i++ {
+		server.onRecv("C", frame)
+	}
+	allocs := testing.AllocsPerRun(500, func() { server.onRecv("C", frame) })
+	if allocs != 0 {
+		t.Fatalf("deliver fast path: %.2f allocs/op, want 0", allocs)
+	}
+}

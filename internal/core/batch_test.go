@@ -51,7 +51,7 @@ func TestFlushTxBatchesBurst(t *testing.T) {
 			t.Fatalf("message %d = %q, want %q", i, r.fromA.get(i), want)
 		}
 	}
-	st := r.epA.Stats()
+	st := r.epA.Snapshot()
 	if st.BatchSends != 1 {
 		t.Fatalf("BatchSends = %d, want 1 (one flushTx drain for the whole burst)", st.BatchSends)
 	}
@@ -156,7 +156,7 @@ func TestBatchSendErrorSkipsFailedDatagram(t *testing.T) {
 	a.mu.Unlock()
 	a.Flush()
 
-	st := epA.Stats()
+	st := epA.Snapshot()
 	if st.TxErrors != 1 {
 		t.Fatalf("TxErrors = %d, want 1", st.TxErrors)
 	}
@@ -216,7 +216,7 @@ func TestUnbatchedSendErrorsCounted(t *testing.T) {
 			t.Fatal(err) // transport errors surface in stats, not from Send
 		}
 	}
-	if got := ep.Stats().TxErrors; got != 3 {
+	if got := ep.Snapshot().TxErrors; got != 3 {
 		t.Fatalf("TxErrors = %d, want 3", got)
 	}
 	if got := conn.Stats().SendErrors; got != 3 {
@@ -284,10 +284,10 @@ func TestBatchFaultDropEndToEnd(t *testing.T) {
 		i++
 	}
 	// An injected drop is loss, not a transport failure.
-	if got := epA.Stats().TxErrors; got != 0 {
+	if got := epA.Snapshot().TxErrors; got != 0 {
 		t.Fatalf("TxErrors = %d, want 0 (injected loss is not an error)", got)
 	}
-	if st := epA.Stats(); st.BatchSends != 1 || st.BatchDatagrams != burst {
+	if st := epA.Snapshot(); st.BatchSends != 1 || st.BatchDatagrams != burst {
 		t.Fatalf("BatchSends=%d BatchDatagrams=%d, want 1/%d", st.BatchSends, st.BatchDatagrams, burst)
 	}
 }
@@ -365,12 +365,12 @@ func batchStress(t *testing.T, nConns, msgs int, clientTransport func(i int) Tra
 		t.Fatal(err)
 	default:
 	}
-	st := server.Stats()
+	st := server.Snapshot()
 	t.Logf("server: BatchSends=%d BatchDatagrams=%d (%.2f/batch) BatchRecvs=%d RecvDatagrams=%d",
 		st.BatchSends, st.BatchDatagrams, st.DatagramsPerBatch, st.BatchRecvs, st.RecvDatagrams)
 	var cli EndpointStats
 	for _, ep := range clients {
-		cs := ep.Stats()
+		cs := ep.Snapshot()
 		cli.BatchSends += cs.BatchSends
 		cli.BatchDatagrams += cs.BatchDatagrams
 		cli.TxErrors += cs.TxErrors

@@ -16,6 +16,7 @@ import (
 	"paccel/internal/header"
 	"paccel/internal/message"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -175,6 +176,18 @@ type Conn struct {
 	settling  bool
 	stats     ConnStats
 
+	// Telemetry (DESIGN.md §12). tel is nil when disabled, making every
+	// instrumentation site one predictable branch. telShard spreads this
+	// connection's histogram records over the recorder's shards (dial
+	// order); telCount/telMask sample 1 in 2^k operation durations
+	// (guarded by c.mu); telFlushCount does the same for transmit
+	// flushes, which run outside c.mu but serialized under txBusy.
+	tel           *telemetry.Recorder
+	telShard      uint32
+	telMask       uint32
+	telCount      uint32
+	telFlushCount uint32
+
 	// failCause is non-nil once the connection entered the Failed state
 	// (see supervise.go); it is set exactly once, under mu.
 	failCause error
@@ -218,6 +231,10 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 		return nil, err
 	}
 	c := &Conn{ep: ep, spec: spec, addr: spec.Addr, st: st, order: ep.cfg.Order}
+	seq := ep.connSeq.Add(1)
+	c.tel = ep.cfg.Telemetry
+	c.telShard = uint32(seq)
+	c.telMask = ep.cfg.telemetrySampleMask()
 	for _, l := range ls {
 		if id, ok := l.(Identifier); ok {
 			c.ident = id
@@ -228,7 +245,7 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 	}
 	c.identIdx = st.Index(c.ident)
 	if c.recoveryOn() {
-		c.recoverRng = newRecoveryRng(ep)
+		c.recoverRng = newRecoveryRng(ep, seq)
 	}
 
 	c.schema = header.New()
@@ -267,6 +284,20 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 		}
 	}
 	c.needConnID = !spec.SkipFirstConnID
+
+	// Hand the recorder to layers that report into it (window resume
+	// events, stamp one-way samples). The structural assertion keeps the
+	// stack contract unchanged: layers that do not know telemetry exists
+	// are untouched.
+	if c.tel != nil {
+		for _, l := range ls {
+			if ts, ok := l.(interface {
+				SetTelemetry(*telemetry.Recorder, uint64, uint32)
+			}); ok {
+				ts.SetTelemetry(c.tel, c.outCookie, c.telShard)
+			}
+		}
+	}
 
 	ctx := c.ctx(nil)
 	st.Prime(ctx)
@@ -512,6 +543,7 @@ func (c *Conn) boundPending(s *sideState) {
 // sendMsg runs the send path for a message whose payload is final. sizes
 // is nil for a plain message or the packed sub-sizes. Caller holds c.mu.
 func (c *Conn) sendMsg(m *message.Msg, sizes []int) error {
+	t0 := c.telStart()
 	c.send.mode = Pre
 	defer func() { c.send.mode = Idle }()
 
@@ -546,14 +578,18 @@ func (c *Conn) sendMsg(m *message.Msg, sizes []int) error {
 		c.transmit(m)
 		c.stats.FastSends++
 		c.queuePostSend(m, env)
+		c.telEnd(telemetry.OpSendPre, t0)
 		return nil
 	case status == filter.StatusDrop || status == filter.StatusFault:
 		m.Free()
 		c.putEnv(env)
 		c.stats.SendErrors++
+		c.telEnd(telemetry.OpSendPre, t0)
 		return fmt.Errorf("%w (status %d)", ErrSendFailed, status)
 	default:
-		return c.sendSlow(m, env)
+		err := c.sendSlow(m, env)
+		c.telEnd(telemetry.OpSendPre, t0)
+		return err
 	}
 }
 
@@ -692,7 +728,18 @@ func (c *Conn) flushTx() {
 // re-batched, so one refused wire image never blocks the burst behind
 // it. Runs without c.mu (transport sends may deliver synchronously).
 func (c *Conn) sendQueued(dst string, q [][]byte) (sendErrs int) {
+	// Flush spans sample through their own counter: sendQueued runs
+	// outside c.mu, but the txBusy flag serializes flushers, so the
+	// plain counter is race-free.
+	var t0 time.Time
+	if c.tel != nil {
+		c.telFlushCount++
+		if c.telFlushCount&c.telMask == 0 {
+			t0 = time.Now()
+		}
+	}
 	ep := c.ep
+	st := ep.stats.stripe(uint64(c.telShard))
 	if bt := ep.batch; bt != nil && len(q) > 1 {
 		for rest := q; len(rest) > 0; {
 			n, err := bt.SendBatch(dst, rest)
@@ -702,8 +749,8 @@ func (c *Conn) sendQueued(dst string, q [][]byte) (sendErrs int) {
 			if n > len(rest) {
 				n = len(rest)
 			}
-			ep.stats.batchSends.Add(1)
-			ep.stats.batchDatagrams.Add(uint64(n))
+			st.batchSends.Add(1)
+			st.batchDatagrams.Add(uint64(n))
 			if err == nil {
 				break
 			}
@@ -722,7 +769,10 @@ func (c *Conn) sendQueued(dst string, q [][]byte) (sendErrs int) {
 		}
 	}
 	if sendErrs > 0 {
-		ep.stats.txErrors.Add(uint64(sendErrs))
+		st.txErrors.Add(uint64(sendErrs))
+	}
+	if !t0.IsZero() {
+		c.tel.Record(telemetry.OpFlush, c.telShard, time.Since(t0))
 	}
 	return sendErrs
 }
@@ -743,6 +793,7 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder,
 		m.Free()
 		return
 	}
+	t0 := c.telStart()
 	c.recvActivity++
 	c.drain(&c.recv) // §3.1: post-delivery completes before the next delivery
 	c.settle()       // finish releases unblocked by that post-processing
@@ -798,6 +849,7 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder,
 		if cid != nil && src != "" && src != c.addr && at < c.identIdx {
 			c.addr = src
 			c.stats.PeerMigrations++
+			c.tel.Event(telemetry.EventMigration, c.outCookie, "peer address migrated to "+src)
 		}
 		switch v {
 		case stack.Continue:
@@ -815,6 +867,7 @@ func (c *Conn) deliverIncoming(m *message.Msg, cid []byte, order bits.ByteOrder,
 	c.boundPending(&c.recv)
 	c.settle()
 	c.wakeIdle()
+	c.telEnd(telemetry.OpDeliver, t0)
 	c.mu.Unlock()
 	if onRecovered != nil {
 		onRecovered()
@@ -982,9 +1035,14 @@ func (c *Conn) releaseSynthetic(item releaseItem) {
 // drain runs a side's pending post-processing to completion (§3.1: "but
 // before the next send or delivery operation"). Caller holds c.mu.
 func (c *Conn) drain(s *sideState) {
+	if s.pendingLen() == 0 {
+		return
+	}
+	t0 := c.telStart()
 	for s.pendingLen() > 0 {
 		c.runOnePost(s)
 	}
+	c.telEnd(telemetry.OpPost, t0)
 }
 
 func (c *Conn) runOnePost(s *sideState) {
@@ -1133,6 +1191,7 @@ func (c *Conn) Close() error {
 	c.send.pending, c.send.head = nil, 0
 	c.recv.pending, c.recv.head = nil, 0
 	c.wakeBlocked()
+	c.tel.Event(telemetry.EventState, c.outCookie, "closed")
 	c.mu.Unlock()
 	c.ep.removeConn(c)
 	return nil
@@ -1150,6 +1209,40 @@ func (c *Conn) envTime() uint64 {
 		return 0
 	}
 	return c.nowMicros()
+}
+
+// telStart opens a sampled telemetry span: with telemetry enabled it
+// counts the operation and, for one in every 2^k of them
+// (Config.TelemetrySampleEvery), reads the wall clock and returns a
+// non-zero start time for telEnd. Disabled, it costs one predictable
+// branch and never touches the clock — histogram durations are real
+// execution times, so the virtual clock cannot supply them. Caller
+// holds c.mu.
+func (c *Conn) telStart() (t0 time.Time) {
+	if c.tel != nil {
+		c.telCount++
+		if c.telCount&c.telMask == 0 {
+			t0 = time.Now()
+		}
+	}
+	return
+}
+
+// telStartAlways opens an unsampled span, for rare operations (recovery
+// probes) where every observation matters.
+func (c *Conn) telStartAlways() (t0 time.Time) {
+	if c.tel != nil {
+		t0 = time.Now()
+	}
+	return
+}
+
+// telEnd closes a span opened by telStart/telStartAlways, recording the
+// elapsed wall time when the operation was sampled.
+func (c *Conn) telEnd(op telemetry.Op, t0 time.Time) {
+	if !t0.IsZero() {
+		c.tel.Record(op, c.telShard, time.Since(t0))
+	}
 }
 
 // ---- stack.Services implementation (caller always holds c.mu) ----

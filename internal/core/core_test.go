@@ -363,7 +363,7 @@ func TestUnknownCookieDropped(t *testing.T) {
 	if err := a.Send([]byte("lost")); err != nil {
 		t.Fatal(err)
 	}
-	if st := epB.Stats(); st.UnknownCookie != 1 {
+	if st := epB.Snapshot(); st.UnknownCookie != 1 {
 		t.Fatalf("UnknownCookie = %d", st.UnknownCookie)
 	}
 }
@@ -414,7 +414,7 @@ func TestAcceptFlow(t *testing.T) {
 	if serverConn == nil {
 		t.Fatal("OnConn not invoked")
 	}
-	if st := epB.Stats(); st.Accepted != 1 {
+	if st := epB.Snapshot(); st.Accepted != 1 {
 		t.Fatalf("Accepted = %d", st.Accepted)
 	}
 	// And the server can reply over the accepted connection.
@@ -905,7 +905,7 @@ func TestUnknownCookieDropsUntilIdentArrives(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.settleNet(time.Millisecond)
-	if got := r.epB.Stats().UnknownCookie; got == 0 {
+	if got := r.epB.Snapshot().UnknownCookie; got == 0 {
 		t.Fatal("cookie-only message was not counted as unknown")
 	}
 	if r.fromA.count() != 0 {

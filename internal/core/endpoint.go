@@ -10,6 +10,7 @@ import (
 	"paccel/internal/header"
 	"paccel/internal/message"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -105,16 +106,25 @@ type Endpoint struct {
 	template  Identifier
 	identSize int
 
-	// connSeq numbers connections in dial order; the recovery engine
-	// mixes it into each connection's jitter seed (recovery.go).
+	// connSeq numbers connections in dial order; it assigns each
+	// connection's telemetry shard and seeds the recovery engine's
+	// jitter (recovery.go).
 	connSeq atomic.Uint64
+
+	// tel records router-level telemetry events; nil disables.
+	tel *telemetry.Recorder
 
 	stats endpointCounters
 }
 
-// endpointCounters are the router-level counters, kept as atomics so the
-// receive path never takes a lock to account for a datagram.
-type endpointCounters struct {
+// counterStripeCount is the number of counter stripes (power of two).
+const counterStripeCount = 8
+
+// counterStripe is one stripe of the router counters. Each field is an
+// atomic so the receive path never takes a lock to account for a
+// datagram; the stripe is padded to two full cache lines so cores
+// counting through neighbouring stripes do not false-share.
+type counterStripe struct {
 	received         atomic.Uint64
 	unknownCookie    atomic.Uint64
 	unknownIdent     atomic.Uint64
@@ -127,6 +137,29 @@ type endpointCounters struct {
 	txErrors         atomic.Uint64
 	batchSends       atomic.Uint64
 	batchDatagrams   atomic.Uint64
+	_                [4]uint64 // pad to 128 bytes
+}
+
+// endpointCounters are the router-level counters, striped so concurrent
+// receive goroutines (and transmit flushers) increment different cache
+// lines. Snapshot sums the stripes in one pass.
+type endpointCounters struct {
+	stripes [counterStripeCount]counterStripe
+}
+
+// stripe selects the counter stripe for a key (a cookie shard index, a
+// source-address hash, or a connection's telemetry shard).
+func (s *endpointCounters) stripe(key uint64) *counterStripe {
+	return &s.stripes[key&(counterStripeCount-1)]
+}
+
+// stripeKey hashes a transport source address to a counter stripe; the
+// length and last byte are enough to spread distinct peers.
+func stripeKey(src string) uint64 {
+	if len(src) == 0 {
+		return 0
+	}
+	return uint64(src[len(src)-1]) ^ uint64(len(src))
 }
 
 // EndpointStats is a snapshot of the router counters.
@@ -167,6 +200,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		conns:      make(map[*Conn]struct{}),
 		byIdent:    make(map[string]*Conn),
 		singleLock: cfg.SingleLockRouter,
+		tel:        cfg.Telemetry,
 	}
 	ep.batch, _ = cfg.Transport.(BatchTransport)
 	for i := range ep.shards {
@@ -220,7 +254,7 @@ func (ep *Endpoint) cookieGC() {
 				if e.learned && cur-e.epoch.Load() >= 3 {
 					delete(sh.m, cookie)
 					dropConnCookie(e.c, cookie)
-					ep.stats.cookiesEvicted.Add(1)
+					ep.stats.stripe(shardIndex(cookie)).cookiesEvicted.Add(1)
 				}
 			}
 			sh.mu.Unlock()
@@ -277,21 +311,28 @@ func (ep *Endpoint) initTemplate() error {
 	return nil
 }
 
-// Stats returns a snapshot of the router counters.
-func (ep *Endpoint) Stats() EndpointStats {
-	s := EndpointStats{
-		Received:         ep.stats.received.Load(),
-		UnknownCookie:    ep.stats.unknownCookie.Load(),
-		UnknownIdent:     ep.stats.unknownIdent.Load(),
-		Rejected:         ep.stats.rejected.Load(),
-		Accepted:         ep.stats.accepted.Load(),
-		Malformed:        ep.stats.malformed.Load(),
-		CookiesLearned:   ep.stats.cookiesLearned.Load(),
-		CookieCollisions: ep.stats.cookieCollisions.Load(),
-		CookiesEvicted:   ep.stats.cookiesEvicted.Load(),
-		TxErrors:         ep.stats.txErrors.Load(),
-		BatchSends:       ep.stats.batchSends.Load(),
-		BatchDatagrams:   ep.stats.batchDatagrams.Load(),
+// Snapshot returns a consistent snapshot of the router counters: every
+// stripe's atomics are summed in one pass, so each reported field is the
+// complete count across stripes as of the pass — the old per-field
+// Stats() accessors read each stripe independently and could return
+// totals torn across them (a receive accounted in one field but not yet
+// in a related one read from a different stripe a moment earlier).
+func (ep *Endpoint) Snapshot() EndpointStats {
+	var s EndpointStats
+	for i := range ep.stats.stripes {
+		st := &ep.stats.stripes[i]
+		s.Received += st.received.Load()
+		s.UnknownCookie += st.unknownCookie.Load()
+		s.UnknownIdent += st.unknownIdent.Load()
+		s.Rejected += st.rejected.Load()
+		s.Accepted += st.accepted.Load()
+		s.Malformed += st.malformed.Load()
+		s.CookiesLearned += st.cookiesLearned.Load()
+		s.CookieCollisions += st.cookieCollisions.Load()
+		s.CookiesEvicted += st.cookiesEvicted.Load()
+		s.TxErrors += st.txErrors.Load()
+		s.BatchSends += st.batchSends.Load()
+		s.BatchDatagrams += st.batchDatagrams.Load()
 	}
 	if s.BatchSends > 0 {
 		s.DatagramsPerBatch = float64(s.BatchDatagrams) / float64(s.BatchSends)
@@ -301,6 +342,16 @@ func (ep *Endpoint) Stats() EndpointStats {
 	}
 	return s
 }
+
+// Stats returns a snapshot of the router counters.
+//
+// Deprecated: use Snapshot, which sums the counter stripes in a single
+// pass. Stats is kept as an alias for existing callers.
+func (ep *Endpoint) Stats() EndpointStats { return ep.Snapshot() }
+
+// Telemetry returns the endpoint's telemetry recorder (nil when
+// Config.Telemetry was not set).
+func (ep *Endpoint) Telemetry() *telemetry.Recorder { return ep.tel }
 
 // IdentSize returns the endpoint's connection identification size (the
 // paper's ~76 bytes).
@@ -336,7 +387,7 @@ func (ep *Endpoint) bindCookie(cookie uint64, c *Conn, learned bool) bool {
 	sh.mu.Lock()
 	if prev, ok := sh.m[cookie]; ok && prev.c != c {
 		sh.mu.Unlock()
-		ep.stats.cookieCollisions.Add(1)
+		ep.stats.stripe(shardIndex(cookie)).cookieCollisions.Add(1)
 		return false
 	}
 	e := &cookieEntry{c: c, learned: learned}
@@ -398,6 +449,7 @@ func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
 	}
 	ep.identMu.Unlock()
 	ep.routeMu.Unlock()
+	ep.tel.Event(telemetry.EventState, c.outCookie, "active")
 	return c, nil
 }
 
@@ -447,26 +499,27 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 	if ep.closed.Load() {
 		return
 	}
+	st := ep.stats.stripe(stripeKey(src))
 	if ep.singleLock {
 		// Faithful pre-sharding behaviour: even the receive counter was
 		// a critical section of the one endpoint mutex, so every
 		// datagram paid two exclusive acquisitions (count, then route).
 		ep.slMu.Lock()
-		ep.stats.received.Add(1)
+		st.received.Add(1)
 		ep.slMu.Unlock()
 	} else {
-		ep.stats.received.Add(1)
+		st.received.Add(1)
 	}
 
 	pre, err := DecodePreamble(datagram)
 	if err != nil {
-		ep.stats.malformed.Add(1)
+		st.malformed.Add(1)
 		return
 	}
 	m := message.FromWire(datagram)
 	m.Order = pre.Order
 	if _, err := m.Pop(PreambleSize); err != nil {
-		ep.stats.malformed.Add(1)
+		st.malformed.Add(1)
 		m.Free()
 		return
 	}
@@ -475,7 +528,7 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 	var c *Conn
 	if pre.ConnIDPresent {
 		if cid, err = m.Pop(ep.identSize); err != nil {
-			ep.stats.malformed.Add(1)
+			st.malformed.Add(1)
 			m.Free()
 			return
 		}
@@ -491,7 +544,7 @@ func (ep *Endpoint) onRecv(src string, datagram []byte) {
 			// "When a message is received with an unknown cookie,
 			// and the Connection Identification Present Bit
 			// cleared, it is dropped" (§2.2).
-			ep.stats.unknownCookie.Add(1)
+			st.unknownCookie.Add(1)
 			m.Free()
 			return
 		}
@@ -518,23 +571,24 @@ func (ep *Endpoint) lookupIdent(cid []byte, pre Preamble, src string) *Conn {
 			return c
 		}
 	}
+	st := ep.stats.stripe(stripeKey(src))
 	accept := ep.cfg.Accept
 	if accept == nil {
-		ep.stats.unknownIdent.Add(1)
+		st.unknownIdent.Add(1)
 		return nil
 	}
 	info := ep.template.ParseIncoming(cid, pre.Order)
 	spec, ok := accept(info, src)
 	if !ok {
-		ep.stats.rejected.Add(1)
+		st.rejected.Add(1)
 		return nil
 	}
 	nc, err := ep.Dial(spec)
 	if err != nil {
-		ep.stats.rejected.Add(1)
+		st.rejected.Add(1)
 		return nil
 	}
-	ep.stats.accepted.Add(1)
+	st.accepted.Add(1)
 	if onConn := ep.cfg.OnConn; onConn != nil {
 		onConn(nc)
 	}
@@ -575,13 +629,13 @@ func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
 		return
 	}
 	if prev != nil {
-		ep.stats.cookieCollisions.Add(1)
+		ep.stats.stripe(shardIndex(cookie)).cookieCollisions.Add(1)
 		return
 	}
 	// Forget this connection's previous cookie, if any (the peer may
 	// have restarted with a fresh cookie).
 	ep.unbindCookies(c)
 	if ep.bindCookie(cookie, c, true) {
-		ep.stats.cookiesLearned.Add(1)
+		ep.stats.stripe(shardIndex(cookie)).cookiesLearned.Add(1)
 	}
 }

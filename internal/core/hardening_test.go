@@ -205,7 +205,7 @@ func TestMultiClientServer(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if st := server.Stats(); st.Accepted != clients {
+	if st := server.Snapshot(); st.Accepted != clients {
 		t.Fatalf("accepted = %d", st.Accepted)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"paccel/internal/bits"
 	"paccel/internal/layers"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -205,6 +206,21 @@ type Config struct {
 	// would split the packed message and reassembly would lose the
 	// packing structure. 0 means layers.DefaultFragThreshold.
 	MaxPackBytes int
+	// Telemetry, if non-nil, receives latency histograms for the
+	// critical-path operations (send pre-processing, lazy drains,
+	// delivery, batch flushes, recovery probes) and structured
+	// connection events (state transitions, faults, migrations,
+	// resumptions). Nil disables recording; the instrumented paths then
+	// cost one predictable nil-check branch and never read the clock
+	// (see DESIGN.md §12 for the overhead contract).
+	Telemetry *telemetry.Recorder
+	// TelemetrySampleEvery records the duration of one in every N
+	// critical-path operations per connection (rounded up to a power of
+	// two); events are never sampled. Duration spans cost two wall-clock
+	// reads, which is measurable against a sub-microsecond fast path, so
+	// the default samples 1 in 8 — dense enough for live percentiles,
+	// cheap enough to leave on. 1 records every operation. 0 means 8.
+	TelemetrySampleEvery int
 }
 
 func (c *Config) clock() vclock.Clock {
@@ -247,6 +263,20 @@ func (c *Config) maxPackBytes() int {
 		return layers.DefaultFragThreshold
 	}
 	return c.MaxPackBytes
+}
+
+// telemetrySampleMask resolves TelemetrySampleEvery to a power-of-two
+// sampling mask (count&mask == 0 selects the sampled operations).
+func (c *Config) telemetrySampleMask() uint32 {
+	n := c.TelemetrySampleEvery
+	if n <= 0 {
+		n = 8
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return uint32(p - 1)
 }
 
 // Mode is the operation state of one PA side (paper Table 3).

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary carries race-detector
+// instrumentation, which allocates on paths that are otherwise
+// allocation-free; alloc-budget assertions skip under it.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 )
 
 // Connection recovery: the redial engine that turns Failed from a
@@ -86,6 +87,7 @@ func (c *Conn) enterRecoveryLocked(cause error) {
 	c.recoverCause = cause
 	c.recoverAttempt = 0
 	c.stats.Recoveries++
+	c.tel.Event(telemetry.EventState, c.outCookie, "recovering: "+cause.Error())
 	c.stopSupervision()
 	if !c.recoverHold {
 		c.recoverHold = true
@@ -150,8 +152,11 @@ func (c *Conn) recoverTick() {
 	}
 	c.recoverAttempt++
 	c.stats.RecoveryProbes++
+	c.tel.Event(telemetry.EventResume, c.outCookie, "resume probe")
+	t0 := c.telStartAlways()
 	c.resumeProbeLocked()
 	c.settle()
+	c.telEnd(telemetry.OpProbe, t0)
 	c.armRecoveryLocked()
 	c.mu.Unlock()
 	c.flushTx()
@@ -200,6 +205,7 @@ func (c *Conn) finishRecoveryLocked() func() {
 	attempts := c.recoverAttempt
 	c.cancelRecoveryLocked()
 	c.stats.Recovered++
+	c.tel.Event(telemetry.EventState, c.outCookie, "active (recovered)")
 	c.startSupervisionLocked()
 	cb := c.ep.cfg.Recovery.OnRecover
 	if cb == nil {
@@ -209,13 +215,13 @@ func (c *Conn) finishRecoveryLocked() func() {
 }
 
 // newRecoveryRng seeds a connection's jitter source: the configured
-// seed (reproducible schedules) mixed with the endpoint's dial order
+// seed (reproducible schedules) mixed with the connection's dial order
 // (two connections sharing a seed still desynchronize).
-func newRecoveryRng(ep *Endpoint) *rand.Rand {
+func newRecoveryRng(ep *Endpoint, connSeq uint64) *rand.Rand {
 	seed := ep.cfg.Recovery.Seed
 	if seed == 0 {
 		seed = defaultRecoverySeed
 	}
-	seed += int64(ep.connSeq.Add(1) * 0x9E3779B97F4A7C15)
+	seed += int64(connSeq * 0x9E3779B97F4A7C15)
 	return rand.New(rand.NewSource(seed))
 }

@@ -339,7 +339,7 @@ func TestCookieGCEvictionMidRecovery(t *testing.T) {
 	if got := r.a.State(); got != StateRecovering {
 		t.Fatalf("state = %v, want recovering", got)
 	}
-	if got := r.epB.Stats().CookiesEvicted; got == 0 {
+	if got := r.epB.Snapshot().CookiesEvicted; got == 0 {
 		t.Fatal("B never evicted the idle learned cookie")
 	}
 	if got := cookieCount(r.epB); got != 0 {

@@ -41,7 +41,7 @@ func TestDialCookieCollision(t *testing.T) {
 	if _, err := ep.Dial(routerSpec(1, cookie)); !errors.Is(err, ErrCookieCollision) {
 		t.Fatalf("second Dial error = %v, want ErrCookieCollision", err)
 	}
-	if got := ep.Stats().CookieCollisions; got != 1 {
+	if got := ep.Snapshot().CookieCollisions; got != 1 {
 		t.Fatalf("CookieCollisions = %d, want 1", got)
 	}
 	if c := ep.lookupCookie(cookie); c != first {
@@ -73,7 +73,7 @@ func TestLearnCookieKeepsExistingBinding(t *testing.T) {
 	if c := ep.lookupCookie(cookie); c != first {
 		t.Fatalf("cookie routes to %p after learn, want original %p", c, first)
 	}
-	if got := ep.Stats().CookieCollisions; got != 1 {
+	if got := ep.Snapshot().CookieCollisions; got != 1 {
 		t.Fatalf("CookieCollisions = %d, want 1", got)
 	}
 
@@ -87,7 +87,7 @@ func TestLearnCookieKeepsExistingBinding(t *testing.T) {
 	if c := ep.lookupCookie(0x1111); c != nil {
 		t.Fatal("stale cookie still routed after relearn")
 	}
-	if got := ep.Stats().CookiesLearned; got != 2 {
+	if got := ep.Snapshot().CookiesLearned; got != 2 {
 		t.Fatalf("CookiesLearned = %d, want 2", got)
 	}
 }
@@ -96,7 +96,7 @@ func TestLearnCookieKeepsExistingBinding(t *testing.T) {
 // snapshot and starts at zero.
 func TestCollisionStatsSnapshot(t *testing.T) {
 	ep := routerEndpoint(t)
-	if got := ep.Stats().CookieCollisions; got != 0 {
+	if got := ep.Snapshot().CookieCollisions; got != 0 {
 		t.Fatalf("fresh endpoint CookieCollisions = %d", got)
 	}
 }

@@ -21,9 +21,9 @@ func echoServerConfig(transport Transport, reportErr func(error)) Config {
 		Transport: transport,
 		Accept: func(remote layers.IdentInfo, netSrc string) (PeerSpec, bool) {
 			return PeerSpec{
-				Addr:     netSrc,
-				LocalID:  bytes.TrimRight(remote.Dst, "\x00"),
-				RemoteID: bytes.TrimRight(remote.Src, "\x00"),
+				Addr:      netSrc,
+				LocalID:   bytes.TrimRight(remote.Dst, "\x00"),
+				RemoteID:  bytes.TrimRight(remote.Src, "\x00"),
 				LocalPort: remote.DstPort, RemotePort: remote.SrcPort,
 				Epoch: remote.Epoch,
 			}, true
@@ -130,7 +130,7 @@ func stressEndpoint(t *testing.T, nConns, msgs int, clientTransport func(i int) 
 		t.Fatal(err)
 	default:
 	}
-	if got := server.Stats().Accepted; got != uint64(nConns) {
+	if got := server.Snapshot().Accepted; got != uint64(nConns) {
 		t.Fatalf("server accepted %d connections, want %d", got, nConns)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"paccel/internal/telemetry"
 )
 
 // Connection supervision: the paper leaves connection lifecycle
@@ -127,6 +129,7 @@ func (c *Conn) failLocked(cause error) error {
 	} else {
 		c.failCause = fmt.Errorf("%w: %w", ErrConnFailed, cause)
 	}
+	c.tel.Event(telemetry.EventState, c.outCookie, c.failCause.Error())
 	c.stopSupervision()
 	for _, l := range c.st.Layers() {
 		if cl, ok := l.(io.Closer); ok {

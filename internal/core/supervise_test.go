@@ -171,7 +171,7 @@ func TestCookieGCBoundsRouterUnderChurn(t *testing.T) {
 		}
 		ep.Close()
 	}
-	if got := epS.Stats().CookiesLearned; got != churn {
+	if got := epS.Snapshot().CookiesLearned; got != churn {
 		t.Fatalf("CookiesLearned = %d, want %d", got, churn)
 	}
 	if got := cookieCount(epS); got != churn {
@@ -183,7 +183,7 @@ func TestCookieGCBoundsRouterUnderChurn(t *testing.T) {
 	if got := cookieCount(epS); got != 0 {
 		t.Fatalf("router holds %d cookies after GC, want 0 (bounded memory)", got)
 	}
-	if got := epS.Stats().CookiesEvicted; got != churn {
+	if got := epS.Snapshot().CookiesEvicted; got != churn {
 		t.Fatalf("CookiesEvicted = %d, want %d", got, churn)
 	}
 }
@@ -225,7 +225,7 @@ func TestCookieGCKeepsActivePeersAndRelearnsEvicted(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := epB.Stats().CookiesEvicted; got != 0 {
+	if got := epB.Snapshot().CookiesEvicted; got != 0 {
 		t.Fatalf("active peer's cookie evicted %d times", got)
 	}
 
@@ -233,15 +233,15 @@ func TestCookieGCKeepsActivePeersAndRelearnsEvicted(t *testing.T) {
 	// dropped, and the window layer's identified retransmission
 	// re-learns the route (§2.2 recovery).
 	clk.Advance(2 * ttl)
-	if got := epB.Stats().CookiesEvicted; got != 1 {
+	if got := epB.Snapshot().CookiesEvicted; got != 1 {
 		t.Fatalf("CookiesEvicted = %d, want 1", got)
 	}
 	delivered := fromA.count()
-	learned := epB.Stats().CookiesLearned
+	learned := epB.Snapshot().CookiesLearned
 	if err := a.Send([]byte("back")); err != nil {
 		t.Fatal(err)
 	}
-	if epB.Stats().UnknownCookie == 0 {
+	if epB.Snapshot().UnknownCookie == 0 {
 		t.Fatal("cookie-only datagram after eviction should be dropped")
 	}
 	// Drive the retransmission timer; the retransmit carries the
@@ -251,7 +251,7 @@ func TestCookieGCKeepsActivePeersAndRelearnsEvicted(t *testing.T) {
 		t.Fatalf("delivered %d, want %d (recovery via identified retransmit)",
 			fromA.count(), delivered+1)
 	}
-	if got := epB.Stats().CookiesLearned; got != learned+1 {
+	if got := epB.Snapshot().CookiesLearned; got != learned+1 {
 		t.Fatalf("CookiesLearned = %d, want %d", got, learned+1)
 	}
 }

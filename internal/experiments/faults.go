@@ -70,10 +70,10 @@ type FaultsPoint struct {
 	NetCorrupted uint64 `json:"net_corrupted"`
 	RecvDrops    uint64 `json:"recv_drops"` // checksum + duplicate refusals
 
-	VirtualMillis  float64 `json:"virtual_ms"`          // virtual time to completion
-	MsgsPerVirtSec float64 `json:"msgs_per_virtual_s"`  // throughput under the schedule
-	RecoveryMillis float64 `json:"recovery_ms"`         // heal/release → fully delivered
-	FailedCleanly  bool    `json:"failed_cleanly"`      // typed failure (dead-peer scenario)
+	VirtualMillis  float64 `json:"virtual_ms"`         // virtual time to completion
+	MsgsPerVirtSec float64 `json:"msgs_per_virtual_s"` // throughput under the schedule
+	RecoveryMillis float64 `json:"recovery_ms"`        // heal/release → fully delivered
+	FailedCleanly  bool    `json:"failed_cleanly"`     // typed failure (dead-peer scenario)
 	FailureCause   string  `json:"failure_cause,omitempty"`
 }
 

@@ -23,6 +23,7 @@ import (
 	"paccel/internal/layers"
 	"paccel/internal/netsim"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -43,18 +44,29 @@ type PairOptions struct {
 	Build           core.StackBuilder
 	CompiledFilters bool
 	LazyPost        bool
+
+	// Telemetry, when non-nil, is installed on both endpoints (and on the
+	// network, for fault events). TelemetrySampleEvery is forwarded to
+	// core.Config; zero keeps the engine default.
+	Telemetry            *telemetry.Recorder
+	TelemetrySampleEvery int
 }
 
 // NewPair dials two endpoints A↔B over an in-memory network on the real
 // clock.
 func NewPair(opt PairOptions) (*Pair, error) {
 	net := netsim.New(vclock.Real{}, opt.NetConfig)
+	if opt.Telemetry != nil {
+		net.SetTelemetry(opt.Telemetry)
+	}
 	cfg := func(addr string) core.Config {
 		return core.Config{
-			Transport:       net.Endpoint(addr),
-			Build:           opt.Build,
-			CompiledFilters: opt.CompiledFilters,
-			LazyPost:        opt.LazyPost,
+			Transport:            net.Endpoint(addr),
+			Build:                opt.Build,
+			CompiledFilters:      opt.CompiledFilters,
+			LazyPost:             opt.LazyPost,
+			Telemetry:            opt.Telemetry,
+			TelemetrySampleEvery: opt.TelemetrySampleEvery,
 		}
 	}
 	epA, err := core.NewEndpoint(cfg("A"))

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -182,7 +183,33 @@ type Transport struct {
 	handler     func(src string, datagram []byte)
 	closed      bool
 	stats       Stats
+
+	// tel receives one EventFault per fired fault; nil disables. Guarded
+	// by mu (decide runs under it).
+	tel *telemetry.Recorder
 }
+
+// SetTelemetry installs a recorder: every fault the plan fires appends an
+// EventFault to its event ring (injector-scoped, connection 0), with the
+// kind and direction as the cause. Nil uninstalls.
+func (t *Transport) SetTelemetry(rec *telemetry.Recorder) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tel = rec
+}
+
+// faultCauses precomputes "faultinject: injected <kind> on <direction>"
+// for every kind so firing a fault appends its event without allocating
+// on the datagram path. Indexed [dirIdx][kind], dirIdx 0 = send, 1 = recv.
+var faultCauses = func() (c [2][Stall + 1]string) {
+	for k := Drop; k <= Stall; k++ {
+		c[0][k] = "faultinject: injected " + k.String() + " on send"
+		c[1][k] = "faultinject: injected " + k.String() + " on recv"
+	}
+	return
+}()
+
+const causePartitionDrop = "faultinject: partition drop"
 
 // New wraps inner with the given fault plan. The clock schedules Delay
 // faults; nil means the real clock. A zero seed selects a fixed default,
@@ -308,6 +335,7 @@ func (t *Transport) StalledCount() int {
 func (t *Transport) decide(dir Direction, peer string, size int) action {
 	if t.allDown || t.partitioned[peer] {
 		t.stats.PartitionDropped++
+		t.tel.Event(telemetry.EventFault, 0, causePartitionDrop)
 		return action{kind: Drop, fired: true}
 	}
 	for _, r := range t.rules {
@@ -358,6 +386,13 @@ func (t *Transport) decide(dir Direction, peer string, size int) action {
 			t.stats.Delayed++
 		case Stall:
 			t.stats.Stalled++
+		}
+		if t.tel != nil {
+			di := 0
+			if dir == Recv {
+				di = 1
+			}
+			t.tel.Event(telemetry.EventFault, 0, faultCauses[di][r.Kind])
 		}
 		return a
 	}

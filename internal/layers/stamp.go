@@ -6,6 +6,7 @@ import (
 	"paccel/internal/header"
 	"paccel/internal/message"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 )
 
 // Stamp is a latency-measurement micro-layer. It registers a 32-bit
@@ -26,6 +27,11 @@ type Stamp struct {
 
 	samples uint64
 	total   time.Duration
+
+	// Telemetry sink; nil disables. One-way samples cost no extra clock
+	// read — the duration comes from the wire timestamp.
+	tel      *telemetry.Recorder
+	telShard uint32
 }
 
 // NewStamp returns a latency meter.
@@ -33,6 +39,13 @@ func NewStamp() *Stamp { return &Stamp{} }
 
 // Name implements stack.Layer.
 func (s *Stamp) Name() string { return "stamp" }
+
+// SetTelemetry installs the engine's telemetry recorder: every one-way
+// latency observation is recorded into the OpOneWay histogram.
+func (s *Stamp) SetTelemetry(rec *telemetry.Recorder, _ uint64, shard uint32) {
+	s.tel = rec
+	s.telShard = shard
+}
 
 // Init registers the timestamp field and the send-filter code that fills
 // it. The receive side has no filter check — a timestamp is informational.
@@ -70,6 +83,7 @@ func (s *Stamp) PostDeliver(ctx *stack.Context, m *message.Msg) {
 	d := time.Duration(now-sent) * time.Microsecond
 	s.samples++
 	s.total += d
+	s.tel.Record(telemetry.OpOneWay, s.telShard, d)
 	if s.OnSample != nil {
 		s.OnSample(d)
 	}

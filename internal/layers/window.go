@@ -1,6 +1,7 @@
 package layers
 
 import (
+	"strconv"
 	"time"
 
 	"paccel/internal/bits"
@@ -8,6 +9,7 @@ import (
 	"paccel/internal/header"
 	"paccel/internal/message"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -100,6 +102,11 @@ type Window struct {
 
 	// Counters for tests and reports.
 	Stats WindowStats
+
+	// Telemetry sink; nil disables. Installed by the engine via the
+	// structural SetTelemetry assertion before any traffic flows.
+	tel     *telemetry.Recorder
+	telConn uint64
 }
 
 // WindowStats counts window-layer events.
@@ -123,6 +130,16 @@ func NewWindow() *Window {
 
 // Name implements stack.Layer.
 func (w *Window) Name() string { return "window" }
+
+// SetTelemetry installs the engine's telemetry recorder: the window
+// reports retransmission timeouts as fault events and session
+// resumptions as resume events. Called once at connection setup, before
+// traffic; the per-message paths are not instrumented here (the engine
+// spans them).
+func (w *Window) SetTelemetry(rec *telemetry.Recorder, conn uint64, _ uint32) {
+	w.tel = rec
+	w.telConn = conn
+}
 
 func (w *Window) size() uint32 {
 	if w.Size <= 0 {
@@ -487,6 +504,8 @@ func (w *Window) onTimeout() {
 		return
 	}
 	w.Stats.Timeouts++
+	w.tel.Event(telemetry.EventFault, w.telConn,
+		"window: retransmit timeout, go-back-N over "+strconv.Itoa(len(w.unacked))+" unacked")
 	if w.rtBackoff < 3 {
 		w.rtBackoff++
 	}
@@ -537,16 +556,20 @@ func (w *Window) stopAckTimer() {
 func (w *Window) Resume() {
 	w.Stats.Resumes++
 	w.sendProbe()
+	replays := 0
 	for s := w.ackedTo; seqLT(s, w.nextSeq); s++ {
 		m, ok := w.unacked[s]
 		if !ok {
 			continue
 		}
+		replays++
 		w.Stats.ResumeReplays++
 		w.Stats.Retransmits++
 		w.sentAt[s] = time.Time{} // Karn: replays never feed the RTT estimate
 		_ = w.s.SendRaw(m, true)
 	}
+	w.tel.Event(telemetry.EventResume, w.telConn,
+		"window resume: probe sent, "+strconv.Itoa(replays)+" frames replayed")
 	w.rearmRetransmit()
 }
 

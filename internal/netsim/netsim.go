@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paccel/internal/telemetry"
 	"paccel/internal/vclock"
 )
 
@@ -132,6 +133,12 @@ type Network struct {
 
 	seq   atomic.Uint64
 	stats netStats
+
+	// tel receives network-fault events (injected loss, corruption,
+	// duplication, partitions); nil disables. Stored atomically so
+	// SetTelemetry is safe while traffic flows. The perfect-path send
+	// emits no events and never loads it.
+	tel atomic.Pointer[telemetry.Recorder]
 }
 
 type link struct{ src, dst Addr }
@@ -186,11 +193,34 @@ func (n *Network) Stats() Stats {
 	}
 }
 
+// SetTelemetry installs a recorder for network-fault events: injected
+// loss, corruption, duplication, and partition changes append to its
+// event ring (network-scoped, connection 0). Nil uninstalls.
+func (n *Network) SetTelemetry(rec *telemetry.Recorder) {
+	n.tel.Store(rec)
+}
+
+// Constant fault causes: the injection paths run per message, so the
+// cause strings are prebuilt.
+const (
+	causeLinkDown  = "netsim: link down or unknown destination"
+	causeLoss      = "netsim: injected loss"
+	causeDup       = "netsim: injected duplicate"
+	causeCorrupt   = "netsim: injected bit flip"
+	causePartition = "netsim: link partitioned"
+	causeHealed    = "netsim: link healed"
+)
+
 // SetLinkDown partitions (or heals) the directed link src→dst.
 func (n *Network) SetLinkDown(src, dst Addr, isDown bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.down[link{src, dst}] = isDown
+	n.mu.Unlock()
+	cause := causeHealed
+	if isDown {
+		cause = causePartition
+	}
+	n.tel.Load().Event(telemetry.EventFault, 0, cause+": "+src+"->"+dst)
 }
 
 // Endpoint attaches (or returns) the endpoint with the given address.
@@ -281,6 +311,7 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 	n.mu.RUnlock()
 	if isDown || target == nil {
 		n.stats.lost.Add(1)
+		n.tel.Load().Event(telemetry.EventFault, 0, causeLinkDown)
 		return nil
 	}
 
@@ -305,11 +336,13 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.faultMu.Unlock()
 		n.stats.lost.Add(1)
+		n.tel.Load().Event(telemetry.EventFault, 0, causeLoss)
 		return nil
 	}
 	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
 		copies = 2
 		n.stats.duplicated.Add(1)
+		n.tel.Load().Event(telemetry.EventFault, 0, causeDup)
 	}
 	for c := 0; c < copies; c++ {
 		delay := n.cfg.Latency
@@ -323,6 +356,7 @@ func (e *Endpoint) Send(dst Addr, datagram []byte) error {
 		if corruptRate > 0 && n.rng.Float64() < corruptRate {
 			flips[c] = n.rng.Intn(8)
 			n.stats.corrupted.Add(1)
+			n.tel.Load().Event(telemetry.EventFault, 0, causeCorrupt)
 		}
 		arrival := now.Add(delay)
 		if n.cfg.BitRate > 0 {

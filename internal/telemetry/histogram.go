@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-bucketed latency histograms, the Figure-4 measurement made
+// always-on: every critical-path duration lands in a fixed-size array of
+// atomic counters, so recording is lock-free, allocation-free, and cheap
+// enough to leave enabled in production.
+//
+// Bucketing is logarithmic with linear sub-buckets ("HDR-lite"): values
+// below 2^subBits nanoseconds get exact buckets; above that, each octave
+// is split into 2^subBits linear sub-buckets, bounding the relative
+// quantization error at 1/2^subBits (≈12.5% with subBits = 3) across the
+// full uint64 range. The bucket count is a compile-time constant, so a
+// histogram is one flat array — no resizing, no tree, no pointer chasing.
+
+const (
+	// subBits is the per-octave sub-bucket resolution.
+	subBits = 3
+	subNum  = 1 << subBits
+	subMask = subNum - 1
+
+	// numBuckets covers every uint64 nanosecond value: subNum exact
+	// buckets for values < subNum, then (64-subBits) octaves of subNum
+	// sub-buckets each.
+	numBuckets = subNum + (64-subBits)*subNum
+)
+
+// bucketOf maps a non-negative duration in nanoseconds to its bucket.
+func bucketOf(ns int64) int {
+	v := uint64(ns)
+	if v < subNum {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the top bit, ≥ subBits
+	// Low bits of the mantissa just below the top bit select the linear
+	// sub-bucket inside the octave.
+	sub := int(v>>(uint(exp)-subBits)) & subMask
+	return subNum + (exp-subBits)*subNum + sub
+}
+
+// bucketLow returns the smallest nanosecond value mapped to bucket i —
+// the inverse of bucketOf, used when reconstructing percentiles.
+func bucketLow(i int) int64 {
+	if i < subNum {
+		return int64(i)
+	}
+	i -= subNum
+	exp := i/subNum + subBits
+	sub := i % subNum
+	return int64(1)<<uint(exp) | int64(sub)<<(uint(exp)-subBits)
+}
+
+// histShard is one shard of one operation's histogram. count is
+// derivable from the buckets but kept separate so snapshotting can size
+// its work cheaply; sum preserves the exact mean.
+type histShard struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// record adds one observation to the shard: two independent atomic adds
+// (bucket and count/sum) — no lock, no allocation. Readers tolerate the
+// momentary skew between them (a snapshot is a statistical view, not a
+// barrier).
+func (h *histShard) record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot summarizes one operation's merged shards.
+type HistogramSnapshot struct {
+	Op      string            `json:"op"`
+	Count   uint64            `json:"count"`
+	MeanNs  float64           `json:"mean_ns"`
+	P50Ns   int64             `json:"p50_ns"`
+	P90Ns   int64             `json:"p90_ns"`
+	P99Ns   int64             `json:"p99_ns"`
+	MaxNs   int64             `json:"max_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty bucket of the merged histogram:
+// LowNs is the inclusive lower bound of the bucket's value range.
+type HistogramBucket struct {
+	LowNs int64  `json:"low_ns"`
+	Count uint64 `json:"count"`
+}
+
+// mergeShards folds the per-shard bucket arrays of one operation into a
+// single flat array and returns (buckets, count, sum).
+func mergeShards(shards []*histShard) ([numBuckets]uint64, uint64, int64) {
+	var merged [numBuckets]uint64
+	var count uint64
+	var sum int64
+	for _, sh := range shards {
+		c := sh.count.Load()
+		if c == 0 {
+			continue
+		}
+		count += c
+		sum += sh.sum.Load()
+		for i := range sh.buckets {
+			if n := sh.buckets[i].Load(); n != 0 {
+				merged[i] += n
+			}
+		}
+	}
+	return merged, count, sum
+}
+
+// summarize computes the snapshot of a merged histogram. withBuckets
+// includes the raw non-empty buckets (the debug endpoint wants them; the
+// console report does not).
+func summarize(op string, merged *[numBuckets]uint64, count uint64, sum int64, withBuckets bool) HistogramSnapshot {
+	s := HistogramSnapshot{Op: op, Count: count}
+	if count == 0 {
+		return s
+	}
+	s.MeanNs = float64(sum) / float64(count)
+	// Percentile p is the lower bound of the bucket holding the
+	// ceil(p·count)-th observation; max the lower bound of the last
+	// non-empty bucket (a ≤12.5% underestimate, the bucketing contract).
+	targets := [3]uint64{
+		(count*50 + 99) / 100,
+		(count*90 + 99) / 100,
+		(count*99 + 99) / 100,
+	}
+	out := [3]*int64{&s.P50Ns, &s.P90Ns, &s.P99Ns}
+	var seen uint64
+	ti := 0
+	for i, n := range merged {
+		if n == 0 {
+			continue
+		}
+		seen += n
+		for ti < len(targets) && seen >= targets[ti] {
+			*out[ti] = bucketLow(i)
+			ti++
+		}
+		s.MaxNs = bucketLow(i)
+		if withBuckets {
+			s.Buckets = append(s.Buckets, HistogramBucket{LowNs: bucketLow(i), Count: n})
+		}
+	}
+	return s
+}

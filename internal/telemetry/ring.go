@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// The event ring: a fixed-capacity, overwrite-oldest log of structured
+// connection events. Events are rare (state transitions, faults,
+// migrations, resumptions — not per-message), so a mutex is the right
+// tool: it keeps (Seq, slot) assignment atomic, which makes the order of
+// events recorded at the same clock tick deterministic (the virtual-time
+// tests rely on it), and it costs nothing on the per-message paths,
+// which never touch the ring.
+
+// EventKind classifies a ring event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventState is a connection lifecycle transition
+	// (active→recovering, →failed, →closed, recovering→active).
+	EventState EventKind = iota
+	// EventFault is an injected or observed fault: transport errors,
+	// injected drops, link partitions, corruption.
+	EventFault
+	// EventMigration is a peer address migration (NAT rebind followed).
+	EventMigration
+	// EventResume is a session-resumption action: a recovery probe
+	// round or a window replay.
+	EventResume
+)
+
+var eventKindNames = [...]string{"state", "fault", "migration", "resume"}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "?"
+}
+
+// Event is one structured ring entry. Seq is a global, gapless record
+// order — two events stamped at the same clock tick are still totally
+// ordered by it.
+type Event struct {
+	Seq  uint64
+	Time time.Time
+	// Conn identifies the connection (the engine's outgoing cookie);
+	// 0 is endpoint- or network-scoped.
+	Conn  uint64
+	Kind  EventKind
+	Cause string
+}
+
+// eventJSON is the wire form of an Event: symbolic kind, nanosecond time.
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"time_unix_ns"`
+	Conn   uint64 `json:"conn,omitempty"`
+	Kind   string `json:"kind"`
+	Cause  string `json:"cause"`
+}
+
+// MarshalJSON renders the event with symbolic kind and nanosecond time.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{e.Seq, e.Time.UnixNano(), e.Conn, e.Kind.String(), e.Cause})
+}
+
+// UnmarshalJSON parses the MarshalJSON form back (tools consuming the
+// debug endpoint round-trip snapshots).
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	kind := EventKind(len(eventKindNames)) // unknown names map out of range
+	for i, n := range eventKindNames {
+		if n == w.Kind {
+			kind = EventKind(i)
+			break
+		}
+	}
+	*e = Event{Seq: w.Seq, Time: time.Unix(0, w.TimeNs), Conn: w.Conn, Kind: kind, Cause: w.Cause}
+	return nil
+}
+
+// eventRing is the fixed ring. next counts every append ever; the live
+// window is the last min(next, len(buf)) entries.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64
+}
+
+// append records one event, overwriting the oldest entry when full.
+func (r *eventRing) append(e Event) {
+	r.mu.Lock()
+	e.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot copies the retained events oldest-first and reports the total
+// ever appended.
+func (r *eventRing) snapshot() ([]Event, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	capacity := uint64(len(r.buf))
+	count := n
+	if count > capacity {
+		count = capacity
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%capacity])
+	}
+	return out, n
+}

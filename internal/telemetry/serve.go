@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The opt-in debug endpoint: JSON snapshots of the recorder plus the
+// standard Go introspection surfaces (expvar, pprof) on one mux. Nothing
+// here runs unless the application calls Serve — production endpoints
+// with no operator looking pay only the recording cost.
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the debug endpoint on addr, exposing:
+//
+//	/telemetry            recorder snapshot as JSON (?buckets=1 for the
+//	                      raw histogram buckets)
+//	/telemetry/events     only the event ring, oldest first
+//	/debug/vars           expvar
+//	/debug/pprof/         pprof index, profile, trace, symbol, cmdline
+//
+// The recorder may be nil (the introspection surfaces still work; the
+// snapshot is empty). Serve returns once the listener is bound; requests
+// are handled on a background goroutine until Close.
+func Serve(addr string, rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, rec.Snapshot(req.URL.Query().Get("buckets") == "1"))
+	})
+	mux.HandleFunc("/telemetry/events", func(w http.ResponseWriter, req *http.Request) {
+		events, total := []Event{}, uint64(0)
+		if rec != nil {
+			events, total = rec.ring.snapshot()
+		}
+		writeJSON(w, struct {
+			Events      []Event `json:"events"`
+			EventsTotal uint64  `json:"events_total"`
+		}{events, total})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is the only exit
+	return s, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client disconnects are not actionable
+}

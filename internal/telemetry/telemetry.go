@@ -1,0 +1,181 @@
+// Package telemetry is the engine's always-on observability layer: the
+// microsecond-level breakdown the paper presents once, offline, in
+// Figure 4 — send pre-processing, lazy post-processing, delivery, flush
+// batching, recovery probing — kept live at runtime.
+//
+// Two data structures, both fixed-size and lock-free or lock-light:
+//
+//   - sharded log-bucketed latency histograms (histogram.go): recording
+//     is two atomic adds into a flat array, no locks, no allocations,
+//     so the critical paths can afford it on every operation;
+//   - a structured event ring (ring.go): connection state transitions,
+//     faults, migrations and resumptions with their cause, fixed
+//     capacity, overwriting the oldest — rare events, so a mutex.
+//
+// The Recorder handle is nil-safe: every method no-ops on a nil
+// receiver, so instrumented code pays exactly one predictable branch
+// when telemetry is disabled (the engine also skips its clock reads in
+// that case — see the instrumentation sites in internal/core).
+// Histogram durations are real execution times (the instrumented code
+// reads the wall clock); event timestamps come from the recorder's
+// configured clock, so virtual-time tests get deterministic event logs.
+//
+// Serve (serve.go) exposes snapshots as JSON over an opt-in HTTP debug
+// endpoint, alongside expvar and pprof.
+package telemetry
+
+import (
+	"time"
+
+	"paccel/internal/vclock"
+)
+
+// Op names one instrumented critical-path operation.
+type Op uint8
+
+// The instrumented operations. The first five are the engine's Figure-4
+// phases; OpOneWay is the stamp layer's one-way latency samples.
+const (
+	// OpSendPre is send pre-processing: header prediction, the send
+	// packet filter, and transmit queueing (Conn.sendMsg).
+	OpSendPre Op = iota
+	// OpPost is one deferred post-processing drain: the batch of §3.1
+	// post-send/post-delivery work run at a drain point.
+	OpPost
+	// OpDeliver is the delivery path from router hand-off to
+	// application callback return (Conn.deliverIncoming).
+	OpDeliver
+	// OpFlush is one transmit-queue flush handed to the transport — a
+	// SendBatch burst or the per-datagram loop (Conn.sendQueued).
+	OpFlush
+	// OpProbe is one recovery probe round: session-resumption replay
+	// plus its settle pass (recovery.go).
+	OpProbe
+	// OpOneWay is the stamp layer's one-way latency estimate (only
+	// meaningful when both endpoints share a clock).
+	OpOneWay
+
+	// NumOps bounds the Op space; it is the histogram array dimension.
+	NumOps
+)
+
+// opNames index by Op for reports and JSON.
+var opNames = [NumOps]string{
+	"send_pre", "post", "deliver", "flush", "probe", "oneway",
+}
+
+// String names the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "?"
+}
+
+// NumShards is the histogram shard count (power of two). Callers spread
+// connections over shards (the engine assigns each connection its dial
+// sequence), so two cores recording for different connections touch
+// different cache lines.
+const NumShards = 8
+
+// Options configures a Recorder.
+type Options struct {
+	// Clock stamps ring events; nil means the real clock. Histogram
+	// durations are measured by the instrumented code itself and are
+	// always real execution times.
+	Clock vclock.Clock
+	// EventCapacity is the event ring size; 0 means DefaultEventCapacity.
+	EventCapacity int
+}
+
+// DefaultEventCapacity is the event ring size when Options leaves it 0.
+const DefaultEventCapacity = 512
+
+// Recorder is the telemetry handle instrumented code records into. A nil
+// *Recorder is valid and records nothing — the disabled path is one
+// branch per instrumentation site.
+type Recorder struct {
+	clock vclock.Clock
+	hists [NumShards][NumOps]histShard
+	ring  eventRing
+}
+
+// New creates a Recorder.
+func New(opts Options) *Recorder {
+	clk := opts.Clock
+	if clk == nil {
+		clk = vclock.Real{}
+	}
+	capacity := opts.EventCapacity
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &Recorder{clock: clk, ring: eventRing{buf: make([]Event, capacity)}}
+}
+
+// Record adds one duration observation for op. shard spreads concurrent
+// recorders over cache lines; any value works (it is reduced mod
+// NumShards). Nil-safe, lock-free, allocation-free.
+func (r *Recorder) Record(op Op, shard uint32, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.hists[shard&(NumShards-1)][op].record(int64(d))
+}
+
+// Event appends one structured event to the ring, overwriting the oldest
+// when full. conn identifies the connection (the engine passes the
+// outgoing cookie; 0 means endpoint- or network-scoped). Nil-safe; cause
+// should be pre-built (a constant or fmt string) by the caller.
+func (r *Recorder) Event(kind EventKind, conn uint64, cause string) {
+	if r == nil {
+		return
+	}
+	r.ring.append(Event{Time: r.clock.Now(), Conn: conn, Kind: kind, Cause: cause})
+}
+
+// Snapshot is a point-in-time view of the recorder: per-operation
+// histogram summaries and the retained events, oldest first.
+type Snapshot struct {
+	Ops []HistogramSnapshot `json:"ops"`
+	// Events are the retained ring entries in order; EventsTotal counts
+	// every event ever appended, including overwritten ones.
+	Events      []Event `json:"events"`
+	EventsTotal uint64  `json:"events_total"`
+}
+
+// Snapshot captures the recorder state. withBuckets includes the raw
+// non-empty histogram buckets (the debug endpoint's detailed view).
+// Nil-safe: a nil recorder snapshots as empty.
+func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	shards := make([]*histShard, NumShards)
+	for op := Op(0); op < NumOps; op++ {
+		for i := range shards {
+			shards[i] = &r.hists[i][op]
+		}
+		merged, count, sum := mergeShards(shards)
+		s.Ops = append(s.Ops, summarize(op.String(), &merged, count, sum, withBuckets))
+	}
+	s.Events, s.EventsTotal = r.ring.snapshot()
+	return s
+}
+
+// ConnEvents returns the retained events for one connection (by the
+// conn value they were recorded with), oldest first. Nil-safe.
+func (r *Recorder) ConnEvents(conn uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	all, _ := r.ring.snapshot()
+	var out []Event
+	for _, e := range all {
+		if e.Conn == conn {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"paccel/internal/vclock"
+)
+
+// --- histogram bucketing ---
+
+func TestBucketOfExactBelowSubNum(t *testing.T) {
+	for v := int64(0); v < subNum; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want %d", v, got, v)
+		}
+	}
+}
+
+func TestBucketOfMonotonicAndInverse(t *testing.T) {
+	// Walk a dense range plus exponentially spaced probes: buckets must be
+	// non-decreasing in the value, and bucketLow must be the smallest
+	// value in its bucket.
+	var values []int64
+	for v := int64(0); v < 4096; v++ {
+		values = append(values, v)
+	}
+	for shift := uint(12); shift < 63; shift++ {
+		base := int64(1) << shift
+		values = append(values, base-1, base, base+1, base+base/2)
+	}
+	prevBucket := -1
+	for _, v := range values {
+		b := bucketOf(v)
+		if b < 0 || b >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, b, numBuckets)
+		}
+		if b < prevBucket {
+			t.Fatalf("bucketOf not monotonic: bucketOf(%d) = %d < previous %d", v, b, prevBucket)
+		}
+		prevBucket = b
+		low := bucketLow(b)
+		if low > v {
+			t.Fatalf("bucketLow(%d) = %d > member value %d", b, low, v)
+		}
+		if bucketOf(low) != b {
+			t.Fatalf("bucketLow(%d) = %d maps back to bucket %d", b, low, bucketOf(low))
+		}
+		if low > 0 && bucketOf(low-1) != b-1 {
+			t.Fatalf("bucketLow(%d)-1 = %d maps to bucket %d, want %d", b, low-1, bucketOf(low-1), b-1)
+		}
+	}
+}
+
+func TestBucketQuantizationError(t *testing.T) {
+	// The bucketing contract: the lower bound underestimates the value by
+	// at most a factor of 1/subNum (12.5%).
+	for shift := uint(subBits); shift < 62; shift++ {
+		for _, v := range []int64{1<<shift + 1, 1<<shift + 1<<(shift-1), 1<<(shift+1) - 1} {
+			low := bucketLow(bucketOf(v))
+			if err := float64(v-low) / float64(v); err > 1.0/subNum {
+				t.Fatalf("value %d: bucket low %d, relative error %.4f > %.4f", v, low, err, 1.0/subNum)
+			}
+		}
+	}
+}
+
+func TestRecordNegativeClampsToZero(t *testing.T) {
+	r := New(Options{})
+	r.Record(OpSendPre, 0, -5*time.Nanosecond)
+	s := r.Snapshot(false)
+	if s.Ops[OpSendPre].Count != 1 || s.Ops[OpSendPre].MaxNs != 0 {
+		t.Fatalf("negative record: got %+v", s.Ops[OpSendPre])
+	}
+}
+
+// --- snapshot / percentiles ---
+
+func TestSnapshotPercentiles(t *testing.T) {
+	r := New(Options{})
+	// 100 observations: 1..100 microseconds, spread over all shards.
+	for i := 1; i <= 100; i++ {
+		r.Record(OpDeliver, uint32(i), time.Duration(i)*time.Microsecond)
+	}
+	s := r.Snapshot(true)
+	h := s.Ops[OpDeliver]
+	if h.Op != "deliver" {
+		t.Fatalf("op name = %q", h.Op)
+	}
+	if h.Count != 100 {
+		t.Fatalf("count = %d, want 100", h.Count)
+	}
+	wantMean := 50.5 * 1000
+	if h.MeanNs != wantMean {
+		t.Fatalf("mean = %v, want %v", h.MeanNs, wantMean)
+	}
+	// Percentile lower bounds: within the 12.5% bucketing error of the
+	// true values.
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"p50", h.P50Ns, 50_000},
+		{"p90", h.P90Ns, 90_000},
+		{"p99", h.P99Ns, 99_000},
+		{"max", h.MaxNs, 100_000},
+	}
+	for _, c := range checks {
+		if c.got > c.want || float64(c.want-c.got)/float64(c.want) > 1.0/subNum {
+			t.Errorf("%s = %d, want within 12.5%% below %d", c.name, c.got, c.want)
+		}
+	}
+	if len(h.Buckets) == 0 {
+		t.Fatal("withBuckets snapshot has no buckets")
+	}
+	var total uint64
+	for i, b := range h.Buckets {
+		if b.Count == 0 {
+			t.Fatalf("bucket %d has zero count", i)
+		}
+		if i > 0 && b.LowNs <= h.Buckets[i-1].LowNs {
+			t.Fatalf("buckets not ascending at %d", i)
+		}
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("bucket counts sum to %d, want 100", total)
+	}
+	// Ops with no observations summarize as empty, and the plain snapshot
+	// carries no bucket arrays.
+	if s.Ops[OpProbe].Count != 0 {
+		t.Fatalf("probe count = %d, want 0", s.Ops[OpProbe].Count)
+	}
+	if plain := r.Snapshot(false); plain.Ops[OpDeliver].Buckets != nil {
+		t.Fatal("plain snapshot includes buckets")
+	}
+}
+
+func TestSnapshotSingleObservation(t *testing.T) {
+	r := New(Options{})
+	r.Record(OpFlush, 3, 777*time.Nanosecond)
+	h := r.Snapshot(false).Ops[OpFlush]
+	if h.Count != 1 || h.MeanNs != 777 {
+		t.Fatalf("got %+v", h)
+	}
+	if h.P50Ns != h.P99Ns || h.P50Ns != h.MaxNs {
+		t.Fatalf("single observation percentiles disagree: %+v", h)
+	}
+}
+
+// --- nil-safety ---
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(OpSendPre, 1, time.Microsecond)
+	r.Event(EventFault, 7, "drop")
+	if s := r.Snapshot(true); len(s.Ops) != 0 || len(s.Events) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	if ev := r.ConnEvents(7); ev != nil {
+		t.Fatalf("nil ConnEvents = %v", ev)
+	}
+}
+
+// --- zero allocations on the record paths ---
+
+func TestRecordZeroAllocs(t *testing.T) {
+	r := New(Options{})
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Record(OpDeliver, 5, 123*time.Nanosecond)
+	}); n != 0 {
+		t.Fatalf("Record allocates %v allocs/op", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.Record(OpDeliver, 5, 123*time.Nanosecond)
+	}); n != 0 {
+		t.Fatalf("nil Record allocates %v allocs/op", n)
+	}
+}
+
+func TestEventZeroAllocs(t *testing.T) {
+	r := New(Options{Clock: vclock.NewManual(time.Unix(0, 0))})
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Event(EventState, 1, "active")
+	}); n != 0 {
+		t.Fatalf("Event allocates %v allocs/op", n)
+	}
+}
+
+// --- event ring ---
+
+func TestRingWraparound(t *testing.T) {
+	r := New(Options{Clock: vclock.NewManual(time.Unix(0, 0)), EventCapacity: 4})
+	for i := 0; i < 10; i++ {
+		r.Event(EventState, uint64(i), "s")
+	}
+	events, total := r.ring.snapshot()
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.Conn != wantSeq {
+			t.Fatalf("event %d = {Seq:%d Conn:%d}, want seq/conn %d", i, e.Seq, e.Conn, wantSeq)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := New(Options{EventCapacity: 8})
+	r.Event(EventFault, 1, "a")
+	r.Event(EventFault, 2, "b")
+	events, total := r.ring.snapshot()
+	if total != 2 || len(events) != 2 {
+		t.Fatalf("total=%d len=%d, want 2/2", total, len(events))
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Fatalf("seqs = %d,%d", events[0].Seq, events[1].Seq)
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	// Hammer the ring from many goroutines (run under -race in CI). The
+	// retained window must be gapless and ascending, and the total exact.
+	const writers, perWriter = 8, 500
+	r := New(Options{EventCapacity: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Event(EventResume, uint64(w), "probe")
+			}
+		}(w)
+	}
+	wg.Wait()
+	events, total := r.ring.snapshot()
+	if total != writers*perWriter {
+		t.Fatalf("total = %d, want %d", total, writers*perWriter)
+	}
+	if len(events) != 64 {
+		t.Fatalf("retained %d, want 64", len(events))
+	}
+	for i, e := range events {
+		if want := total - 64 + uint64(i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (window must be gapless)", i, e.Seq, want)
+		}
+	}
+}
+
+func TestRingSameTickOrderingDeterministic(t *testing.T) {
+	// Under a manual clock every event in one tick shares a timestamp;
+	// Seq must still give a total order matching append order.
+	clk := vclock.NewManual(time.Unix(100, 0))
+	r := New(Options{Clock: clk, EventCapacity: 16})
+	causes := []string{"enter-recovery", "probe-1", "probe-2", "resumed"}
+	for _, c := range causes {
+		r.Event(EventResume, 42, c)
+	}
+	events := r.ConnEvents(42)
+	if len(events) != len(causes) {
+		t.Fatalf("got %d events, want %d", len(events), len(causes))
+	}
+	for i, e := range events {
+		if e.Cause != causes[i] {
+			t.Fatalf("event %d cause = %q, want %q (same-tick order must be append order)", i, e.Cause, causes[i])
+		}
+		if !e.Time.Equal(time.Unix(100, 0)) {
+			t.Fatalf("event %d time = %v, want the manual clock's tick", i, e.Time)
+		}
+		if i > 0 && e.Seq != events[i-1].Seq+1 {
+			t.Fatalf("seqs not consecutive at %d", i)
+		}
+	}
+}
+
+func TestConnEventsFilters(t *testing.T) {
+	r := New(Options{EventCapacity: 16})
+	r.Event(EventState, 1, "a")
+	r.Event(EventState, 2, "b")
+	r.Event(EventFault, 1, "c")
+	got := r.ConnEvents(1)
+	if len(got) != 2 || got[0].Cause != "a" || got[1].Cause != "c" {
+		t.Fatalf("ConnEvents(1) = %+v", got)
+	}
+}
+
+// --- JSON ---
+
+func TestEventJSON(t *testing.T) {
+	e := Event{Seq: 3, Time: time.Unix(1, 500), Conn: 9, Kind: EventMigration, Cause: "rebind"}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "migration" || m["cause"] != "rebind" || m["conn"] != float64(9) {
+		t.Fatalf("marshaled event = %s", b)
+	}
+	if m["time_unix_ns"] != float64(time.Unix(1, 500).UnixNano()) {
+		t.Fatalf("time_unix_ns = %v", m["time_unix_ns"])
+	}
+}
+
+// --- debug endpoint ---
+
+func TestServe(t *testing.T) {
+	r := New(Options{Clock: vclock.NewManual(time.Unix(7, 0))})
+	r.Record(OpSendPre, 0, 2*time.Microsecond)
+	r.Event(EventState, 5, "active")
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/telemetry?buckets=1"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ops[OpSendPre].Count != 1 || snap.EventsTotal != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Ops[OpSendPre].Buckets) != 1 {
+		t.Fatalf("buckets = %+v", snap.Ops[OpSendPre].Buckets)
+	}
+
+	var ev struct {
+		Events      []json.RawMessage `json:"events"`
+		EventsTotal uint64            `json:"events_total"`
+	}
+	if err := json.Unmarshal(get("/telemetry/events"), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Events) != 1 || ev.EventsTotal != 1 {
+		t.Fatalf("events = %+v", ev)
+	}
+
+	if b := get("/debug/vars"); len(b) == 0 {
+		t.Fatal("/debug/vars empty")
+	}
+	if b := get("/debug/pprof/cmdline"); len(b) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeNilRecorder(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Ops) != 0 {
+		t.Fatalf("nil recorder snapshot = %+v", snap)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"paccel/internal/telemetry"
 )
 
 // ErrClosed is returned by Send after Close.
@@ -48,6 +50,11 @@ type Transport struct {
 	family uint16
 
 	stats transportStats
+
+	// tel receives transport-fault events (socket send errors, oversized
+	// datagrams); nil disables. Atomic so SetTelemetry is safe while
+	// sends are in flight.
+	tel atomic.Pointer[telemetry.Recorder]
 
 	mu        sync.Mutex
 	handler   func(src string, datagram []byte)
@@ -85,6 +92,19 @@ func (t *Transport) Stats() Stats {
 		RecvDatagrams:  t.stats.recvDatagrams.Load(),
 	}
 }
+
+// SetTelemetry installs a recorder: socket send failures and oversized
+// datagrams append EventFault entries to its event ring (transport-
+// scoped, connection 0). Nil uninstalls.
+func (t *Transport) SetTelemetry(rec *telemetry.Recorder) {
+	t.tel.Store(rec)
+}
+
+// Constant fault causes; the error paths may run per datagram under load.
+const (
+	causeSendError = "udp: socket send error"
+	causeTooLarge  = "udp: datagram exceeds UDP payload ceiling"
+)
 
 // RecvBatchStats implements the engine's optional RecvBatcher interface.
 func (t *Transport) RecvBatchStats() (batches, datagrams uint64) {
@@ -182,6 +202,7 @@ func (t *Transport) resolve(dst string) (*net.UDPAddr, error) {
 // share a single resolution.
 func (t *Transport) Send(dst string, datagram []byte) error {
 	if len(datagram) > MaxDatagram {
+		t.tel.Load().Event(telemetry.EventFault, 0, causeTooLarge)
 		return fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(datagram), MaxDatagram)
 	}
 	ua, err := t.resolve(dst)
@@ -189,6 +210,9 @@ func (t *Transport) Send(dst string, datagram []byte) error {
 		return err
 	}
 	_, err = t.conn.WriteToUDP(datagram, ua)
+	if err != nil {
+		t.tel.Load().Event(telemetry.EventFault, 0, causeSendError)
+	}
 	return err
 }
 
@@ -209,6 +233,9 @@ func (t *Transport) SendBatch(dst string, datagrams [][]byte) (sent int, err err
 	t.stats.batchSends.Add(1)
 	sent, err = t.sendBatchWire(ua, datagrams)
 	t.stats.batchDatagrams.Add(uint64(sent))
+	if err != nil {
+		t.tel.Load().Event(telemetry.EventFault, 0, causeSendError)
+	}
 	return sent, err
 }
 

@@ -50,6 +50,7 @@ import (
 	"paccel/internal/netsim"
 	"paccel/internal/rpc"
 	"paccel/internal/stack"
+	"paccel/internal/telemetry"
 	"paccel/internal/udp"
 	"paccel/internal/vclock"
 )
@@ -268,6 +269,46 @@ func NewRPCClient(conn *Conn) *RPCClient { return rpc.NewClient(conn) }
 
 // ServeRPC answers every request arriving on a server-side connection.
 func ServeRPC(conn *Conn, h RPCHandler) { rpc.Serve(conn, h) }
+
+// Observability (internal/telemetry): an always-on recorder of
+// log-bucketed latency histograms (send pre-processing, lazy
+// post-processing, delivery, transmit flush, recovery probes, one-way
+// latency) and a fixed-capacity ring of structured connection events
+// (state transitions, faults, migrations, resumptions). Install one via
+// Config.Telemetry; the engine's fast paths stay allocation-free with it
+// on, and a nil recorder costs one predictable branch. The same recorder
+// can additionally be installed on the transports for fault events
+// (SimNetwork.SetTelemetry, FaultTransport.SetTelemetry,
+// udp.Transport.SetTelemetry). See DESIGN.md §12.
+type (
+	// Telemetry is the engine's histogram + event recorder.
+	Telemetry = telemetry.Recorder
+	// TelemetryOptions configures a recorder (clock, event capacity).
+	TelemetryOptions = telemetry.Options
+	// TelemetrySnapshot is a point-in-time view: per-operation histogram
+	// summaries plus the retained events.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryEvent is one structured connection event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryHistogram is one operation's histogram summary within a
+	// TelemetrySnapshot.
+	TelemetryHistogram = telemetry.HistogramSnapshot
+	// TelemetryServer is the opt-in debug HTTP endpoint.
+	TelemetryServer = telemetry.Server
+)
+
+// NewTelemetry creates a recorder with the given options; the zero value
+// of TelemetryOptions selects the real clock and the default event
+// capacity.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// ServeTelemetry exposes a recorder over HTTP for debugging: JSON
+// snapshots at /telemetry and /telemetry/events, plus expvar and pprof.
+// Opt-in — nothing listens unless this is called. Bind loopback
+// ("127.0.0.1:0") unless the network is trusted.
+func ServeTelemetry(addr string, rec *Telemetry) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, rec)
+}
 
 // StackOptions parameterizes BuildStack, the configurable variant of
 // DefaultStack. The zero value reproduces the paper's four-layer stack.

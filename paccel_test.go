@@ -2,7 +2,9 @@ package paccel_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"testing"
 	"time"
 
@@ -54,6 +56,75 @@ func TestFacadeEndToEnd(t *testing.T) {
 	st := a.Stats()
 	if st.FastSends != 1 || st.ConnIDSent != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFacadeTelemetry drives the observability surface end to end: a
+// recorder installed through Config.Telemetry fills histograms and the
+// event ring, the torn-read-free EndpointStats come from Snapshot(), and
+// the debug HTTP endpoint serves the JSON view.
+func TestFacadeTelemetry(t *testing.T) {
+	rec := paccel.NewTelemetry(paccel.TelemetryOptions{})
+	net := paccel.NewSimNetwork(paccel.SimConfig{})
+	net.SetTelemetry(rec)
+	mk := func(addr string) *paccel.Endpoint {
+		ep, err := paccel.NewEndpoint(paccel.Config{
+			Transport: net.Endpoint(addr),
+			Telemetry: rec, TelemetrySampleEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		return ep
+	}
+	alice, bob := mk("A"), mk("B")
+	a, err := alice.Dial(paccel.PeerSpec{Addr: "B", LocalID: []byte("alice"), RemoteID: []byte("bob"), LocalPort: 1, RemotePort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Dial(paccel.PeerSpec{Addr: "A", LocalID: []byte("bob"), RemoteID: []byte("alice"), LocalPort: 2, RemotePort: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := a.Send([]byte("observe")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := rec.Snapshot(false)
+	if snap.EventsTotal < 2 { // the two Dials log "active" transitions
+		t.Fatalf("EventsTotal = %d, want >= 2", snap.EventsTotal)
+	}
+	var sendPre paccel.TelemetryHistogram
+	for _, h := range snap.Ops {
+		if h.Op == "send_pre" {
+			sendPre = h
+		}
+	}
+	if sendPre.Count < 8 {
+		t.Fatalf("send_pre count = %d, want >= 8 at SampleEvery=1", sendPre.Count)
+	}
+	if st := bob.Snapshot(); st.Received == 0 {
+		t.Fatalf("endpoint snapshot = %+v, want Received > 0", st)
+	}
+
+	srv, err := paccel.ServeTelemetry("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got paccel.TelemetrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.EventsTotal != rec.Snapshot(false).EventsTotal {
+		t.Fatalf("served EventsTotal = %d", got.EventsTotal)
 	}
 }
 
