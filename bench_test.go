@@ -18,6 +18,7 @@ import (
 	"paccel/internal/layers"
 	"paccel/internal/netsim"
 	"paccel/internal/rpc"
+	"paccel/internal/udp"
 	"paccel/internal/vclock"
 )
 
@@ -420,4 +421,87 @@ func BenchmarkRPC(b *testing.B) {
 	b.StopTimer()
 	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(1e9/perOp, "rpc/s")
+}
+
+// BenchmarkGSOSendBatchAllocs measures the kernel-offload batch send
+// path over real UDP loopback: one SendBatch of a 64×512B equal-size
+// burst (one UDP_SEGMENT super-datagram's worth when the kernel
+// supports it, one plain sendmmsg chunk otherwise). The Allocs suffix
+// puts it under the perf gate's zero-tolerance rule: the steady-state
+// batch send path promises 0 allocs/op on every tier.
+func BenchmarkGSOSendBatchAllocs(b *testing.B) {
+	tx, err := udp.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tx.Close()
+	rx, err := udp.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	ds := make([][]byte, 64)
+	for i := range ds {
+		ds[i] = make([]byte, 512)
+	}
+	dst := rx.LocalAddr()
+	for i := 0; i < 32; i++ {
+		if _, err := tx.SendBatch(dst, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.SendBatch(dst, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedRecvBurst measures the SO_REUSEPORT receive tier
+// end-to-end: a 64-datagram burst into a 2-queue sharded listener,
+// timed until every datagram of the burst has been delivered (closed
+// loop, so the number is burst latency through kernel hash + pinned
+// read loops + GRO split, not raw send cost). On platforms without
+// SO_REUSEPORT the listener degrades to one socket and the benchmark
+// still runs.
+func BenchmarkShardedRecvBurst(b *testing.B) {
+	rx, err := udp.ListenSharded("127.0.0.1:0", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	var got atomic.Int64
+	done := make(chan struct{}, 1)
+	rx.SetHandler(func(string, []byte) {
+		if got.Add(1)%64 == 0 {
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		}
+	})
+	tx, err := udp.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tx.Close()
+	ds := make([][]byte, 64)
+	for i := range ds {
+		ds[i] = make([]byte, 512)
+	}
+	dst := rx.LocalAddr()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.SendBatch(dst, ds); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			b.Fatalf("burst %d not delivered (got %d datagrams)", i, got.Load())
+		}
+	}
 }

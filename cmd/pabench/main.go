@@ -33,6 +33,16 @@
 // same engine restricted to one syscall per datagram, plus an in-memory
 // reference run; -json writes its machine-readable baseline (BENCH_4.json).
 //
+// The gso experiment measures kernel-offload transport I/O: the same
+// engine bursts with UDP_SEGMENT/UDP_GRO super-datagram coalescing
+// enabled versus the plain sendmmsg tier, reporting ns/op and
+// **syscalls/datagram** — every send and receive system call both
+// transports issue divided by the datagrams delivered, the number the
+// offload exists to shrink (a 256-datagram burst is 4 sendmmsg calls
+// plain, 1 call of 4 super-datagrams offloaded). On kernels without
+// UDP_SEGMENT the offload arm degrades to sendmmsg and the report says
+// so; -json writes its machine-readable baseline (BENCH_6.json).
+//
 // The telemetry experiment measures the observability layer's overhead:
 // the round-trip fast path with the recorder disabled, enabled at the
 // default 1-in-8 duration sampling, and enabled unsampled, plus the
@@ -41,7 +51,7 @@
 //
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|telemetry] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|telemetry] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -53,11 +63,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, telemetry")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, telemetry")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, or telemetry: also write the machine-readable baseline to this file")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, or telemetry: also write the machine-readable baseline to this file")
 	seed := flag.Int64("seed", 0, "with -exp faults or recovery: schedule seed (0 = fixed default)")
 	flag.Parse()
 
@@ -145,6 +155,14 @@ func main() {
 			batch(*quick, *jsonPath)
 		}
 	}
+	if run("gso") {
+		any = true
+		if *simOnly {
+			fmt.Println("gso: skipped (real-hardware measurement only)")
+		} else {
+			gso(*quick, *jsonPath)
+		}
+	}
 	if run("telemetry") {
 		any = true
 		if *simOnly {
@@ -210,6 +228,17 @@ func batch(quick bool, jsonPath string) {
 	fmt.Println(experiments.BatchReport(res))
 	if jsonPath != "" {
 		out, err := experiments.BatchJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func gso(quick bool, jsonPath string) {
+	res, err := experiments.GSO(quick)
+	fail(err)
+	fmt.Println(experiments.GSOReport(res))
+	if jsonPath != "" {
+		out, err := experiments.GSOJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

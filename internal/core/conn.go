@@ -741,6 +741,9 @@ func (c *Conn) sendQueued(dst string, q [][]byte) (sendErrs int) {
 	ep := c.ep
 	st := ep.stats.stripe(uint64(c.telShard))
 	if bt := ep.batch; bt != nil && len(q) > 1 {
+		if co := ep.coalescer; co != nil && len(q) <= shapeMaxQueue && co.Coalescible() {
+			shapeCoalescible(q)
+		}
 		for rest := q; len(rest) > 0; {
 			n, err := bt.SendBatch(dst, rest)
 			if n < 0 {
@@ -775,6 +778,42 @@ func (c *Conn) sendQueued(dst string, q [][]byte) (sendErrs int) {
 		c.tel.Record(telemetry.OpFlush, c.telShard, time.Since(t0))
 	}
 	return sendErrs
+}
+
+// shapeMaxQueue bounds the drains shapeCoalescible touches: past a few
+// hundred wire images the O(n²) worst case of the in-place grouping
+// would cost more than the super-datagrams save.
+const shapeMaxQueue = 256
+
+// shapeCoalescible groups the drained tx queue's equal-size wire images
+// into contiguous runs, in place and without allocating, so the
+// transport's UDP_SEGMENT coalescer (core.Coalescer) sees the maximal
+// runs it can merge into super-datagrams. Grouping is stable per size
+// class — datagrams of one size keep their relative order, which keeps
+// each message's fragments in sequence — but datagrams of different
+// sizes may reorder across the drain, which the unreliable-datagram
+// contract already permits (the window layer reorders worse). It runs
+// only while the transport reports Coalescible, so loop-path and netsim
+// transmissions keep their exact queue order.
+func shapeCoalescible(q [][]byte) {
+	for i := 0; i < len(q); {
+		size := len(q[i])
+		j := i + 1 // end of the contiguous run being grown
+		for k := j; k < len(q); k++ {
+			if len(q[k]) != size {
+				continue
+			}
+			if k != j {
+				// Rotate q[j:k+1] right one slot, moving q[k] to the run's
+				// end without disturbing the relative order of the rest.
+				d := q[k]
+				copy(q[j+1:k+1], q[j:k])
+				q[j] = d
+			}
+			j++
+		}
+		i = j
+	}
 }
 
 // deliverIncoming is the paper's from_network() (Fig. 3) past the router:

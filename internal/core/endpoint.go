@@ -74,6 +74,17 @@ type Endpoint struct {
 	// a time and the flush paths must loop.
 	batch BatchTransport
 
+	// mq is the transport's multi-queue receive interface (SO_REUSEPORT
+	// sharding), asserted once at construction; nil for single-queue
+	// transports.
+	mq MultiQueueTransport
+
+	// coalescer is the transport's send-offload interface (UDP_SEGMENT
+	// super-datagrams), asserted once at construction. The flush path
+	// shapes the tx queue into equal-size runs only while it reports
+	// Coalescible.
+	coalescer Coalescer
+
 	closed atomic.Bool
 	// draining refuses new sends while Shutdown runs down the deferred
 	// work (see supervise.go).
@@ -188,6 +199,14 @@ type EndpointStats struct {
 	DatagramsPerBatch float64
 	BatchRecvs        uint64
 	RecvDatagrams     uint64
+
+	// Multi-queue receive sharding (DESIGN.md §13). RecvQueues is the
+	// transport's receive-queue count (1 for single-queue transports);
+	// QueueRecvDatagrams, present only for MultiQueueTransports, is the
+	// per-queue datagram count — the kernel's REUSEPORT flow-hash balance
+	// made visible.
+	RecvQueues         int
+	QueueRecvDatagrams []uint64
 }
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to the transport.
@@ -203,6 +222,8 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		tel:        cfg.Telemetry,
 	}
 	ep.batch, _ = cfg.Transport.(BatchTransport)
+	ep.mq, _ = cfg.Transport.(MultiQueueTransport)
+	ep.coalescer, _ = cfg.Transport.(Coalescer)
 	for i := range ep.shards {
 		ep.shards[i].m = make(map[uint64]*cookieEntry)
 	}
@@ -339,6 +360,14 @@ func (ep *Endpoint) Snapshot() EndpointStats {
 	}
 	if rb, ok := ep.cfg.Transport.(RecvBatcher); ok {
 		s.BatchRecvs, s.RecvDatagrams = rb.RecvBatchStats()
+	}
+	s.RecvQueues = 1
+	if mq := ep.mq; mq != nil {
+		s.RecvQueues = mq.NumQueues()
+		s.QueueRecvDatagrams = make([]uint64, s.RecvQueues)
+		for i := range s.QueueRecvDatagrams {
+			_, s.QueueRecvDatagrams[i] = mq.QueueRecvStats(i)
+		}
 	}
 	return s
 }

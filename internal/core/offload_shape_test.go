@@ -1,0 +1,141 @@
+package core
+
+// Tests for the kernel-offload support in the engine: the flush path's
+// equal-size run shaping (shapeCoalescible) and the multi-queue
+// transport capability surfaced through Snapshot.
+
+import (
+	"testing"
+	"time"
+
+	"paccel/internal/netsim"
+	"paccel/internal/vclock"
+)
+
+// mkQueue builds wire images with the given sizes, tagging each with its
+// original index so stability is checkable after shaping.
+func mkQueue(sizes ...int) [][]byte {
+	q := make([][]byte, len(sizes))
+	for i, s := range sizes {
+		d := make([]byte, s)
+		if s > 0 {
+			d[0] = byte(i)
+		}
+		q[i] = d
+	}
+	return q
+}
+
+func TestShapeCoalescibleGroupsRuns(t *testing.T) {
+	q := mkQueue(3, 5, 3, 5, 3, 7, 5)
+	shapeCoalescible(q)
+	wantSizes := []int{3, 3, 3, 5, 5, 5, 7}
+	wantTags := []byte{0, 2, 4, 1, 3, 6, 5}
+	for i := range q {
+		if len(q[i]) != wantSizes[i] || q[i][0] != wantTags[i] {
+			t.Fatalf("slot %d: size=%d tag=%d, want size=%d tag=%d",
+				i, len(q[i]), q[i][0], wantSizes[i], wantTags[i])
+		}
+	}
+}
+
+func TestShapeCoalescibleStableWithinSize(t *testing.T) {
+	// Ten interleaved datagrams of two sizes: each size class must keep
+	// its original relative order (fragment sequences stay in sequence).
+	q := mkQueue(100, 200, 100, 200, 100, 200, 100, 200, 100, 200)
+	shapeCoalescible(q)
+	var tags100, tags200 []byte
+	for _, d := range q {
+		if len(d) == 100 {
+			tags100 = append(tags100, d[0])
+		} else {
+			tags200 = append(tags200, d[0])
+		}
+	}
+	for i := 1; i < len(tags100); i++ {
+		if tags100[i] < tags100[i-1] {
+			t.Fatalf("size-100 class reordered: %v", tags100)
+		}
+	}
+	for i := 1; i < len(tags200); i++ {
+		if tags200[i] < tags200[i-1] {
+			t.Fatalf("size-200 class reordered: %v", tags200)
+		}
+	}
+	if len(tags100) != 5 || len(tags200) != 5 {
+		t.Fatalf("lost datagrams: %d+%d", len(tags100), len(tags200))
+	}
+}
+
+func TestShapeCoalescibleNoOpOnGrouped(t *testing.T) {
+	q := mkQueue(4, 4, 4, 9, 9, 2)
+	shapeCoalescible(q)
+	for i, want := range []byte{0, 1, 2, 3, 4, 5} {
+		if q[i][0] != want {
+			t.Fatalf("already-grouped queue disturbed at %d: tag %d", i, q[i][0])
+		}
+	}
+}
+
+func TestShapeCoalescibleAllocFree(t *testing.T) {
+	q := mkQueue(3, 5, 3, 5, 3, 5, 3, 5)
+	orig := make([][]byte, len(q))
+	allocs := testing.AllocsPerRun(100, func() {
+		copy(orig, q)
+		shapeCoalescible(orig)
+	})
+	if allocs != 0 {
+		t.Fatalf("shapeCoalescible allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// fakeMQTransport is a minimal Transport with the multi-queue
+// capability, for exercising the Snapshot fold without sockets.
+type fakeMQTransport struct {
+	h func(string, []byte)
+}
+
+func (f *fakeMQTransport) Send(dst string, d []byte) error    { return nil }
+func (f *fakeMQTransport) SetHandler(h func(string, []byte))  { f.h = h }
+func (f *fakeMQTransport) LocalAddr() string                  { return "fake:0" }
+func (f *fakeMQTransport) Close() error                       { return nil }
+func (f *fakeMQTransport) NumQueues() int                     { return 3 }
+func (f *fakeMQTransport) QueueRecvStats(i int) (b, d uint64) { return uint64(i), uint64(10 * (i + 1)) }
+func (f *fakeMQTransport) RecvBatchStats() (b, d uint64)      { return 3, 60 }
+
+func TestSnapshotMultiQueue(t *testing.T) {
+	ep, err := NewEndpoint(Config{Transport: &fakeMQTransport{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	s := ep.Snapshot()
+	if s.RecvQueues != 3 {
+		t.Fatalf("RecvQueues = %d, want 3", s.RecvQueues)
+	}
+	want := []uint64{10, 20, 30}
+	if len(s.QueueRecvDatagrams) != 3 {
+		t.Fatalf("QueueRecvDatagrams = %v", s.QueueRecvDatagrams)
+	}
+	for i, w := range want {
+		if s.QueueRecvDatagrams[i] != w {
+			t.Fatalf("queue %d datagrams = %d, want %d", i, s.QueueRecvDatagrams[i], w)
+		}
+	}
+	if s.BatchRecvs != 3 || s.RecvDatagrams != 60 {
+		t.Fatalf("RecvBatcher fold: %d/%d", s.BatchRecvs, s.RecvDatagrams)
+	}
+}
+
+func TestSnapshotSingleQueueDefault(t *testing.T) {
+	net := netsim.New(vclock.NewManual(time.Unix(0, 0)), netsim.Config{})
+	ep, err := NewEndpoint(Config{Transport: net.Endpoint("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	s := ep.Snapshot()
+	if s.RecvQueues != 1 || s.QueueRecvDatagrams != nil {
+		t.Fatalf("single-queue transport: RecvQueues=%d QueueRecvDatagrams=%v", s.RecvQueues, s.QueueRecvDatagrams)
+	}
+}

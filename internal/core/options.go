@@ -59,6 +59,32 @@ type RecvBatcher interface {
 	RecvBatchStats() (batches, datagrams uint64)
 }
 
+// MultiQueueTransport is optionally implemented by transports whose
+// receive path is sharded across several independent sockets/read loops
+// (udp.ListenSharded's SO_REUSEPORT queues). The endpoint detects it
+// once at construction, like BatchTransport, and Snapshot reports the
+// queue count plus per-queue receive counters so load imbalance across
+// the kernel's flow hash stays observable.
+type MultiQueueTransport interface {
+	// NumQueues reports how many receive queues the transport runs.
+	NumQueues() int
+	// QueueRecvStats reports queue i's completed batched reads and the
+	// datagrams they carried (i in [0, NumQueues)).
+	QueueRecvStats(i int) (batches, datagrams uint64)
+}
+
+// Coalescer is optionally implemented by transports whose batch send
+// path can merge a run of equal-size datagrams into one kernel
+// super-datagram (UDP_SEGMENT). When Coalescible reports true, the
+// engine's flush path groups the drained tx queue's equal-size datagrams
+// into contiguous runs before SendBatch, so interleaved traffic from
+// packing/fragmentation still presents the shape the offload needs. The
+// report may change over the transport's life (a path-MTU refusal
+// disables the offload), so the flush path re-checks per drain.
+type Coalescer interface {
+	Coalescible() bool
+}
+
 // PeerSpec identifies one connection: the peer's network address plus the
 // connection identification both sides agree on (§2.1 class 1).
 type PeerSpec struct {

@@ -1,0 +1,16 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udp
+
+import "net"
+
+// Offload stubs for platforms without the Linux kernel-offload tier
+// (gso_linux.go): no UDP_SEGMENT/UDP_GRO probe ever runs (Offload
+// reports false/false and SendBatch stays on the portable loop), and
+// SO_REUSEPORT sharding degrades to a single socket.
+
+// listenReusePort has no portable implementation; ListenSharded detects
+// the errShardingUnsupported sentinel and degrades to one plain socket.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errShardingUnsupported
+}

@@ -1,0 +1,261 @@
+//go:build linux && (amd64 || arm64)
+
+package udp
+
+// Kernel offload tier (DESIGN.md §13): UDP_SEGMENT send coalescing,
+// UDP_GRO receive coalescing, and SO_REUSEPORT socket sharding. This
+// file holds everything offload-specific — the setsockopt probe, the
+// cmsg encode/decode, equal-size run detection, and the sendmmsg header
+// fill that mixes plain and super-datagram headers in one system call —
+// while mmsg_linux.go keeps the raw sendmmsg/recvmmsg plumbing both
+// tiers share. gso_fallback.go stubs the same hooks for every other
+// GOOS/GOARCH.
+//
+// Why coalesce on top of sendmmsg: sendmmsg already amortizes syscall
+// *entry* over 64 datagrams, but the kernel still walks the UDP stack
+// once per datagram. A UDP_SEGMENT super-datagram is one stack traversal
+// for up to 64 equal-size segments, and one sendmmsg can carry 64 such
+// super-datagrams — 4096 datagrams behind a single trap. The
+// fragmentation layer's bursts (equal-size fragments, shorter tail) are
+// exactly the shape the cmsg permits: every segment gso_size long except
+// a final short one.
+
+import (
+	"context"
+	"net"
+	"syscall"
+	"unsafe"
+
+	"paccel/internal/telemetry"
+)
+
+// Linux UAPI constants the frozen syscall tables predate.
+const (
+	solUDP      = 17  // SOL_UDP
+	udpSegment  = 103 // UDP_SEGMENT (kernel 4.18+)
+	udpGRO      = 104 // UDP_GRO (kernel 5.0+)
+	soReusePort = 15  // SO_REUSEPORT (absent from frozen zerrors tables)
+)
+
+// maxGSOSegments is the kernel's UDP_MAX_SEGMENTS: the most datagrams
+// one super-datagram may carry.
+const maxGSOSegments = 64
+
+// gsoMinSegments is the smallest run worth coalescing: below it a plain
+// sendmmsg header costs the same.
+const gsoMinSegments = 2
+
+// gsoBufSize is the per-sendState coalesce scratch: room for a full
+// sendmmsg chunk of small-segment super-datagrams (the common case) or
+// four maximum-size ones.
+const gsoBufSize = 1 << 18
+
+// gsoOOB is one header's control-buffer capacity; CmsgSpace(2) is 24 on
+// the 64-bit ABIs, rounded up to a power of two.
+const gsoOOB = 32
+
+// groOOB is one receive slot's control-buffer capacity: the UDP_GRO
+// cmsg (CmsgSpace(4) = 24) plus slack for unrelated cmsgs.
+const groOOB = 64
+
+// Runtime-computed cmsg geometry (constant per ABI).
+var (
+	gsoCmsgSpace = syscall.CmsgSpace(2)
+	cmsgDataOff  = syscall.CmsgLen(0)
+)
+
+// probeOffload runs at Listen, before the receive loop starts:
+// setsockopt(UDP_SEGMENT, 0) is a no-op on supporting kernels and ENOPROTOOPT
+// elsewhere, so its verdict gates the send coalescer; UDP_GRO is enabled
+// for real (the receive loop must then split coalesced payloads).
+func (t *Transport) probeOffload(fd int) {
+	if !t.opts.DisableGSO {
+		if err := syscall.SetsockoptInt(fd, solUDP, udpSegment, 0); err == nil {
+			t.gsoProbed = true
+			t.gsoOn.Store(true)
+		}
+	}
+	if !t.opts.DisableGRO {
+		if err := syscall.SetsockoptInt(fd, solUDP, udpGRO, 1); err == nil {
+			t.groOn = true
+		}
+	}
+}
+
+// disableGSO is the sticky fallback: the kernel (or the path MTU behind
+// it) refused a UDP_SEGMENT send, so every later batch goes down the
+// plain sendmmsg tier. One counter bump and one fault event; the refusal
+// path may run under load.
+func (t *Transport) disableGSO() {
+	if t.gsoOn.Swap(false) {
+		t.stats.gsoFallbacks.Add(1)
+		t.tel.Load().Event(telemetry.EventFault, 0, causeGsoFallback)
+	}
+}
+
+// gsoRefused reports whether a sendmmsg errno means the kernel or path
+// rejected the segmentation request itself (fall back to plain headers)
+// rather than a transient send failure.
+func gsoRefused(e syscall.Errno) bool {
+	switch e {
+	case syscall.EINVAL, syscall.EMSGSIZE, syscall.EOPNOTSUPP, syscall.EIO:
+		return true
+	}
+	return false
+}
+
+// gsoRun measures the prefix of ds that one UDP_SEGMENT super-datagram
+// can carry: a run of equal-size datagrams, optionally closed by one
+// shorter datagram (the kernel permits only the final segment to be
+// short), capped at maxGSOSegments segments and MaxDatagram total bytes.
+func gsoRun(ds [][]byte) (run, total int) {
+	seg := len(ds[0])
+	if seg == 0 {
+		return 0, 0
+	}
+	run, total = 1, seg
+	for run < len(ds) && run < maxGSOSegments {
+		l := len(ds[run])
+		if l == 0 || l > seg || total+l > MaxDatagram {
+			break
+		}
+		total += l
+		run++
+		if l < seg {
+			break // a short segment closes the super-datagram
+		}
+	}
+	return run, total
+}
+
+// putGSOCmsg writes the UDP_SEGMENT cmsg (a uint16 segment size) into a
+// header's control buffer.
+func putGSOCmsg(oob *[gsoOOB]byte, seg uint16) {
+	h := (*syscall.Cmsghdr)(unsafe.Pointer(&oob[0]))
+	h.Level = solUDP
+	h.Type = udpSegment
+	h.SetLen(syscall.CmsgLen(2))
+	*(*uint16)(unsafe.Pointer(&oob[cmsgDataOff])) = seg
+}
+
+// groSegSize walks a received control buffer for the UDP_GRO cmsg and
+// returns the kernel-reported segment size, or 0 when the payload is a
+// single datagram. The kernel writes the size as a C int; a defensive
+// walk tolerates unrelated cmsgs before it.
+func groSegSize(ctrl []byte) int {
+	for len(ctrl) >= cmsgDataOff {
+		h := (*syscall.Cmsghdr)(unsafe.Pointer(&ctrl[0]))
+		l := int(h.Len)
+		if l < cmsgDataOff || l > len(ctrl) {
+			return 0
+		}
+		if h.Level == solUDP && h.Type == udpGRO {
+			if l >= cmsgDataOff+4 {
+				return int(*(*int32)(unsafe.Pointer(&ctrl[cmsgDataOff])))
+			}
+			if l >= cmsgDataOff+2 {
+				return int(*(*uint16)(unsafe.Pointer(&ctrl[cmsgDataOff])))
+			}
+			return 0
+		}
+		// Advance to the next 8-byte-aligned cmsg.
+		adv := (l + 7) &^ 7
+		if adv <= 0 || adv >= len(ctrl) {
+			return 0
+		}
+		ctrl = ctrl[adv:]
+	}
+	return 0
+}
+
+// fill builds up to mmsgBatch sendmmsg headers from ds. With the GSO
+// offload on, each maximal equal-size run of at least gsoMinSegments
+// datagrams is copied into the coalesce scratch and becomes one
+// super-datagram header carrying a UDP_SEGMENT cmsg; everything else
+// gets a plain zero-copy header. st.segs[i] records how many datagrams
+// header i carries, so the caller can translate the kernel's
+// headers-sent count back into the SendBatch prefix contract. A non-nil
+// error reports an oversized datagram just past the built headers (the
+// caller transmits the prefix, then surfaces the error at its index);
+// k == 0 with a non-nil error means the head datagram itself is
+// oversized.
+func (st *sendState) fill(t *Transport, name *byte, namelen uint32, ds [][]byte) (k int, err error) {
+	gso := t.gsoOn.Load()
+	if gso && st.buf == nil {
+		// Lazy: transports whose probe failed never pay for the scratch.
+		st.buf = make([]byte, gsoBufSize)
+	}
+	used := 0 // coalesce scratch consumed
+	i := 0    // datagrams consumed
+	for i < len(ds) && k < mmsgBatch {
+		d := ds[i]
+		if len(d) > MaxDatagram {
+			return k, oversizedErr(len(d))
+		}
+		h := &st.hdrs[k]
+		iov := &st.iovs[k]
+		if gso {
+			if run, total := gsoRun(ds[i:]); run >= gsoMinSegments && total <= gsoBufSize-used {
+				off := used
+				for _, s := range ds[i : i+run] {
+					off += copy(st.buf[off:], s)
+				}
+				iov.Base = &st.buf[used]
+				iov.Len = uint64(total)
+				used = off
+				h.hdr = syscall.Msghdr{Name: name, Namelen: namelen, Iov: iov, Iovlen: 1}
+				h.hdr.Control = &st.oobs[k][0]
+				h.hdr.Controllen = uint64(gsoCmsgSpace)
+				putGSOCmsg(&st.oobs[k], uint16(len(d)))
+				h.len = 0
+				st.segs[k] = run
+				k++
+				i += run
+				continue
+			}
+		}
+		if len(d) > 0 {
+			iov.Base = &d[0]
+		} else {
+			iov.Base = &zeroByte
+		}
+		iov.Len = uint64(len(d))
+		h.hdr = syscall.Msghdr{Name: name, Namelen: namelen, Iov: iov, Iovlen: 1}
+		h.len = 0
+		st.segs[k] = 1
+		k++
+		i++
+	}
+	return k, nil
+}
+
+// hasGSO reports whether any header in [from, to) is a super-datagram —
+// the precondition for treating a refusal errno as a GSO fallback.
+func (st *sendState) hasGSO(from, to int) bool {
+	for i := from; i < to; i++ {
+		if st.segs[i] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// listenReusePort opens one UDP socket with SO_REUSEPORT set before
+// bind, so ListenSharded can stack N sockets on one port and the kernel
+// hashes incoming flows across them.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

@@ -10,21 +10,27 @@ package udp
 //
 // The batch send path chunks the burst into mmsgBatch headers per
 // sendmmsg call; header/iovec/sockaddr scratch comes from a sync.Pool so
-// the steady-state path allocates nothing. The receive loop reads up to
-// mmsgBatch datagrams per recvmmsg into a buffer ring allocated once per
-// transport; the ring slots are only reused after every handler of the
-// previous batch has returned, which preserves the documented
-// borrow-only buffer contract.
+// the steady-state path allocates nothing. When the UDP_SEGMENT offload
+// is on (gso_linux.go), equal-size runs become super-datagram headers
+// inside the same sendmmsg call. The receive loop reads up to mmsgBatch
+// datagrams per recvmmsg into a buffer ring allocated once per
+// transport, splitting UDP_GRO-coalesced payloads back into datagrams;
+// the ring slots are only reused after every handler of the previous
+// batch has returned, which preserves the documented borrow-only buffer
+// contract.
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"syscall"
 	"unsafe"
+
+	"paccel/internal/telemetry"
 )
 
 // mmsgBatch is the most datagrams one sendmmsg/recvmmsg call carries.
@@ -33,7 +39,9 @@ import (
 // syscall without an oversized ring.
 const mmsgBatch = 64
 
-// recvBufSize is one receive-ring slot: any legal UDP payload fits.
+// recvBufSize is one receive-ring slot: any legal UDP payload fits (and
+// with GRO, any coalesced payload — the kernel caps coalescing at the
+// 64 KB UDP ceiling).
 const recvBufSize = 65536
 
 // mmsghdr mirrors the kernel's struct mmsghdr on the 64-bit ABIs the
@@ -44,29 +52,86 @@ type mmsghdr struct {
 	_   [4]byte
 }
 
-// sendState is the pooled per-call scratch for one sendmmsg batch.
+// sendState is the pooled per-call scratch for one sendmmsg batch: the
+// header/iovec arrays, per-header segment counts and control buffers for
+// the GSO tier, the coalesce scratch (lazily allocated — transports
+// without the offload never pay for it), and the sockaddr. The write
+// step's parameters and results live here too, with writeStep bound once
+// per state: a fresh closure per rc.Write call would put an allocation
+// on the steady-state send path.
 type sendState struct {
 	hdrs [mmsgBatch]mmsghdr
 	iovs [mmsgBatch]syscall.Iovec
+	segs [mmsgBatch]int
+	oobs [mmsgBatch][gsoOOB]byte
+	buf  []byte
 	sa4  syscall.RawSockaddrInet4
 	sa6  syscall.RawSockaddrInet6
+
+	t        *Transport
+	off, cnt int // header window the next write step transmits
+	n        int // headers the kernel accepted
+	errno    syscall.Errno
+	writeFn  func(fd uintptr) bool
 }
 
-var sendPool = sync.Pool{New: func() any { return new(sendState) }}
+// writeStep issues one sendmmsg over the state's current header window.
+// It runs under rc.Write, so returning false parks the goroutine in the
+// poller until the socket is writable again.
+func (st *sendState) writeStep(fd uintptr) bool {
+	st.t.stats.txSyscalls.Add(1)
+	r1, e := sendmmsgCall(fd, &st.hdrs[st.off], st.cnt, syscall.MSG_DONTWAIT)
+	if e == syscall.EAGAIN || e == syscall.EINTR {
+		return false // wait for writability, then retry
+	}
+	st.n, st.errno = r1, e
+	return true
+}
+
+var sendPool = sync.Pool{New: func() any {
+	st := new(sendState)
+	st.writeFn = st.writeStep
+	return st
+}}
+
+// putSendState drops the transport reference (a pooled state must not
+// pin a closed transport) and returns the state to the pool.
+func putSendState(st *sendState) {
+	st.t = nil
+	sendPool.Put(st)
+}
 
 // zeroByte anchors the iovec of an empty datagram (the kernel rejects a
 // nil base only in some paths; never hand it one).
 var zeroByte byte
 
+// sendmmsgCall and recvmmsgCall issue the raw system calls. They are
+// package vars so tests can interpose errnos — the transient-receive
+// and GSO-refusal fallback paths need a regression test that does not
+// depend on a cooperating kernel.
+var sendmmsgCall = func(fd uintptr, hdrs *mmsghdr, vlen, flags int) (int, syscall.Errno) {
+	r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+		uintptr(unsafe.Pointer(hdrs)), uintptr(vlen), uintptr(flags), 0, 0)
+	return int(r1), e
+}
+
+var recvmmsgCall = func(fd uintptr, hdrs *mmsghdr, vlen, flags int) (int, syscall.Errno) {
+	r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+		uintptr(unsafe.Pointer(hdrs)), uintptr(vlen), uintptr(flags), 0, 0)
+	return int(r1), e
+}
+
 // initOS learns the socket's address family so the raw send path builds
 // sockaddrs the kernel accepts (an AF_INET6 dual-stack socket needs
-// v4-mapped targets). Any failure leaves family 0 and the batch path
-// falls back to the portable loop.
+// v4-mapped targets), then probes the kernel offloads (gso_linux.go).
+// Any failure leaves family 0 and the batch path falls back to the
+// portable loop.
 func (t *Transport) initOS() {
 	rc, err := t.conn.SyscallConn()
 	if err != nil {
 		return
 	}
+	t.rc = rc
 	_ = rc.Control(func(fd uintptr) {
 		sa, err := syscall.Getsockname(int(fd))
 		if err != nil {
@@ -78,6 +143,7 @@ func (t *Transport) initOS() {
 		case *syscall.SockaddrInet6:
 			t.family = syscall.AF_INET6
 		}
+		t.probeOffload(int(fd))
 	})
 }
 
@@ -114,17 +180,30 @@ func (st *sendState) sockaddr(t *Transport, ua *net.UDPAddr) (name *byte, namele
 	return nil, 0, false
 }
 
+// oversizedErr builds the wrapped ErrDatagramTooLarge every send path
+// reports.
+func oversizedErr(n int) error {
+	return fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, n, MaxDatagram)
+}
+
 // sendBatchWire drains the burst with sendmmsg, chunking at mmsgBatch
-// headers per call. The kernel may transmit a prefix of a chunk; the
-// loop resumes at the first unsent datagram, so sent is always an exact
-// prefix count and an error names the datagram at index sent.
+// headers per call; fill (gso_linux.go) coalesces equal-size runs into
+// UDP_SEGMENT super-datagram headers when the offload is on, so one
+// chunk can carry up to mmsgBatch×maxGSOSegments datagrams. The kernel
+// may transmit a prefix of a chunk; the loop resumes at the first unsent
+// datagram, so sent is always an exact prefix count and an error names
+// the datagram at index sent. A refusal errno on a chunk that carried a
+// super-datagram triggers the sticky GSO fallback and the chunk is
+// rebuilt from plain headers — nothing from it had been transmitted, so
+// the prefix contract holds.
 func (t *Transport) sendBatchWire(ua *net.UDPAddr, datagrams [][]byte) (int, error) {
-	rc, err := t.conn.SyscallConn()
-	if err != nil {
+	rc := t.rc
+	if rc == nil {
 		return t.sendBatchLoop(ua, datagrams)
 	}
 	st := sendPool.Get().(*sendState)
-	defer sendPool.Put(st)
+	defer putSendState(st)
+	st.t = t
 	name, namelen, ok := st.sockaddr(t, ua)
 	if !ok {
 		return t.sendBatchLoop(ua, datagrams)
@@ -132,64 +211,80 @@ func (t *Transport) sendBatchWire(ua *net.UDPAddr, datagrams [][]byte) (int, err
 
 	sent := 0
 	for sent < len(datagrams) {
-		// Fill up to mmsgBatch headers, stopping short of an oversized
-		// datagram so everything before it still goes down in one call.
-		k := 0
-		for sent+k < len(datagrams) && k < mmsgBatch {
-			d := datagrams[sent+k]
-			if len(d) > MaxDatagram {
-				if k == 0 {
-					return sent, fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(d), MaxDatagram)
+		k, fillErr := st.fill(t, name, namelen, datagrams[sent:])
+		if k == 0 {
+			return sent, fillErr // head datagram oversized
+		}
+		refused := false
+		done := 0 // headers transmitted so far in this chunk
+		for done < k {
+			st.off, st.cnt = done, k-done
+			werr := rc.Write(st.writeFn)
+			if werr != nil {
+				return sent, werr
+			}
+			n, errno := st.n, st.errno
+			if errno != 0 {
+				if gsoRefused(errno) && st.hasGSO(done, k) {
+					// The kernel (or path MTU) rejected the segmentation
+					// cmsg. Disable the offload and rebuild this chunk's
+					// remainder with plain headers.
+					t.disableGSO()
+					refused = true
+					break
 				}
-				break
+				return sent, fmt.Errorf("udp: sendmmsg: %w", errno)
 			}
-			iov := &st.iovs[k]
-			if len(d) > 0 {
-				iov.Base = &d[0]
-			} else {
-				iov.Base = &zeroByte
+			if n <= 0 {
+				return sent, errors.New("udp: sendmmsg made no progress")
 			}
-			iov.Len = uint64(len(d))
-			h := &st.hdrs[k]
-			h.hdr = syscall.Msghdr{Name: name, Namelen: namelen, Iov: iov, Iovlen: 1}
-			h.len = 0
-			k++
-		}
-
-		var n int
-		var errno syscall.Errno
-		werr := rc.Write(func(fd uintptr) bool {
-			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
-				uintptr(unsafe.Pointer(&st.hdrs[0])), uintptr(k),
-				syscall.MSG_DONTWAIT, 0, 0)
-			if e == syscall.EAGAIN || e == syscall.EINTR {
-				return false // wait for writability, then retry
+			for i := done; i < done+n; i++ {
+				sent += st.segs[i]
+				if st.segs[i] > 1 {
+					t.stats.gsoSends.Add(1)
+					t.stats.gsoSegments.Add(uint64(st.segs[i]))
+				}
 			}
-			n, errno = int(r1), e
-			return true
-		})
-		if werr != nil {
-			return sent, werr
+			done += n
 		}
-		if errno != 0 {
-			return sent, fmt.Errorf("udp: sendmmsg: %w", errno)
+		if refused {
+			continue // refill from datagrams[sent:] without the offload
 		}
-		if n <= 0 {
-			return sent, errors.New("udp: sendmmsg made no progress")
+		if fillErr != nil {
+			return sent, fillErr // oversized datagram at index sent
 		}
-		sent += n
 	}
 	return sent, nil
 }
 
+// closedRecvErrno reports whether a recvmmsg errno means the socket is
+// gone (shut down under the loop) rather than a transient kernel
+// condition. Everything else — ENOBUFS and ENOMEM under memory
+// pressure, unexpected one-offs — is survivable: returning would leave
+// the transport permanently deaf while Send still works.
+func closedRecvErrno(e syscall.Errno) bool {
+	switch e {
+	case syscall.EBADF, syscall.EINVAL, syscall.ENOTSOCK, syscall.ENOTCONN:
+		return true
+	}
+	return false
+}
+
 // readLoop is the vectorized receive loop: one recvmmsg call drains up
 // to mmsgBatch queued datagrams into the ring, then the handler runs
-// once per datagram in arrival order. Ring slots are reused only on the
-// next recvmmsg, after every handler of this batch has returned.
+// once per datagram in arrival order, with UDP_GRO-coalesced payloads
+// split back into their original datagrams first. Ring slots are reused
+// only on the next recvmmsg, after every handler of this batch has
+// returned.
 func (t *Transport) readLoop() {
 	defer close(t.done)
-	rc, err := t.conn.SyscallConn()
-	if err != nil {
+	if t.pinned {
+		// ListenSharded's per-queue loops: one OS thread per queue, the
+		// userspace analogue of a pinned NIC receive queue.
+		runtime.LockOSThread()
+	}
+	rc := t.rc
+	if rc == nil || debugGenericRead {
 		t.readLoopGeneric()
 		return
 	}
@@ -200,12 +295,19 @@ func (t *Transport) readLoop() {
 		iovs  [mmsgBatch]syscall.Iovec
 		names [mmsgBatch]syscall.RawSockaddrAny
 	)
+	var ctrls []byte
+	if t.groOn {
+		ctrls = make([]byte, mmsgBatch*groOOB)
+	}
 	for i := range hdrs {
 		iovs[i].Base = &ring[i*recvBufSize]
 		iovs[i].Len = recvBufSize
 		hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&names[i]))
 		hdrs[i].hdr.Iov = &iovs[i]
 		hdrs[i].hdr.Iovlen = 1
+		if ctrls != nil {
+			hdrs[i].hdr.Control = &ctrls[i*groOOB]
+		}
 	}
 
 	var lastRaw syscall.RawSockaddrAny
@@ -214,35 +316,47 @@ func (t *Transport) readLoop() {
 		for i := range hdrs {
 			hdrs[i].hdr.Namelen = syscall.SizeofSockaddrAny
 			hdrs[i].len = 0
+			if ctrls != nil {
+				hdrs[i].hdr.Controllen = groOOB
+			}
 		}
 		var n int
 		var errno syscall.Errno
 		rerr := rc.Read(func(fd uintptr) bool {
-			r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
-				uintptr(unsafe.Pointer(&hdrs[0])), mmsgBatch,
-				syscall.MSG_DONTWAIT, 0, 0)
+			t.stats.rxSyscalls.Add(1)
+			r1, e := recvmmsgCall(fd, &hdrs[0], mmsgBatch, syscall.MSG_DONTWAIT)
 			if e == syscall.EAGAIN || e == syscall.EINTR {
 				return false // wait for readability
 			}
-			n, errno = int(r1), e
+			n, errno = r1, e
 			return true
 		})
 		if rerr != nil {
-			return // closed
+			return // closed (poller torn down)
 		}
-		if errno != 0 || n <= 0 {
+		if errno != 0 {
+			if closedRecvErrno(errno) {
+				return
+			}
+			// Transient failure (ENOBUFS, ENOMEM, ...): count it, tell
+			// telemetry, and keep listening — exiting here would leave
+			// the transport deaf forever while sends still succeed.
+			t.stats.recvErrors.Add(1)
+			t.tel.Load().Event(telemetry.EventFault, 0, causeRecvError)
+			runtime.Gosched()
+			continue
+		}
+		if n <= 0 {
 			return
 		}
 		t.stats.batchRecvs.Add(1)
-		t.stats.recvDatagrams.Add(uint64(n))
 
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
-		if h == nil {
-			continue
-		}
+		delivered := 0
 		for i := 0; i < n; i++ {
+			payload := ring[i*recvBufSize : i*recvBufSize+int(hdrs[i].len)]
 			// Cache the stringified source: traffic is typically runs
 			// of datagrams from the same peer, and building the string
 			// allocates.
@@ -250,14 +364,38 @@ func (t *Transport) readLoop() {
 				lastRaw = names[i]
 				lastSrc = rawAddrString(&names[i])
 			}
-			h(lastSrc, ring[i*recvBufSize:i*recvBufSize+int(hdrs[i].len)])
+			seg := 0
+			if ctrls != nil && hdrs[i].hdr.Controllen > 0 {
+				seg = groSegSize(ctrls[i*groOOB : i*groOOB+int(hdrs[i].hdr.Controllen)])
+			}
+			if seg > 0 && seg < len(payload) {
+				// A kernel-coalesced payload: split it back into the
+				// original wire datagrams (borrow-only subslices).
+				src := lastSrc
+				segs := splitSegments(payload, seg, func(d []byte) {
+					if h != nil {
+						h(src, d)
+					}
+				})
+				t.stats.groRecvs.Add(1)
+				t.stats.groSegments.Add(uint64(segs))
+				delivered += segs
+				continue
+			}
+			if h != nil {
+				h(lastSrc, payload)
+			}
+			delivered++
 		}
+		t.stats.recvDatagrams.Add(uint64(delivered))
 	}
 }
 
 // rawAddrEqual compares the family-meaningful prefix of two raw
-// sockaddrs. Slots keep stale bytes from earlier peers past the written
-// length, so a whole-struct compare would mis-report runs.
+// sockaddrs — for IPv6 that includes Scope_id, so link-local peers with
+// the same address on different interfaces never conflate. Slots keep
+// stale bytes from earlier peers past the written length, so a
+// whole-struct compare would mis-report runs.
 func rawAddrEqual(a, b *syscall.RawSockaddrAny) bool {
 	if a.Addr.Family != b.Addr.Family {
 		return false

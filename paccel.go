@@ -79,6 +79,11 @@ type (
 	// sendmmsg on the UDP transport; see DESIGN.md §11). All three
 	// shipped transports implement it.
 	BatchTransport = core.BatchTransport
+	// MultiQueueTransport is the optional sharded-receive extension of
+	// Transport: N independent read loops on one port (SO_REUSEPORT on
+	// the UDP transport; see ListenShardedUDP and DESIGN.md §13), with
+	// per-queue receive stats folded into EndpointStats.
+	MultiQueueTransport = core.MultiQueueTransport
 	// StackBuilder constructs a connection's protocol stack.
 	StackBuilder = core.StackBuilder
 	// IdentInfo is a parsed incoming connection identification.
@@ -202,6 +207,16 @@ var (
 	_ BatchTransport = (*FaultTransport)(nil)
 )
 
+// The sharded UDP listener must satisfy every engine contract its
+// single-socket sibling does, plus the multi-queue capability.
+var (
+	_ BatchTransport      = (*udp.Sharded)(nil)
+	_ MultiQueueTransport = (*udp.Sharded)(nil)
+	_ core.RecvBatcher    = (*udp.Sharded)(nil)
+	_ core.Coalescer      = (*udp.Sharded)(nil)
+	_ core.Coalescer      = (*udp.Transport)(nil)
+)
+
 // NewEndpoint attaches a Protocol Accelerator endpoint to a transport.
 func NewEndpoint(cfg Config) (*Endpoint, error) { return core.NewEndpoint(cfg) }
 
@@ -219,6 +234,12 @@ func NewSimNetwork(cfg SimConfig) *SimNetwork {
 // ListenUDP opens a UDP transport, for accelerated connections between
 // real processes (see cmd/paping).
 func ListenUDP(addr string) (*udp.Transport, error) { return udp.Listen(addr) }
+
+// ListenShardedUDP opens n SO_REUSEPORT UDP sockets on one port, each
+// with its own pinned read loop feeding the endpoint's sharded router
+// concurrently (DESIGN.md §13). On platforms without SO_REUSEPORT it
+// degrades to a single socket.
+func ListenShardedUDP(addr string, n int) (*udp.Sharded, error) { return udp.ListenSharded(addr, n) }
 
 // PaperSimConfig returns the simulated network matching the paper's
 // testbed: 35 µs one-way latency on 140 Mbit/s ATM.
