@@ -505,3 +505,71 @@ func BenchmarkShardedRecvBurst(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRouterDeliverLoaded measures the routed delivery fast path
+// with the cookie table loaded to 100k learned entries — the fleet-
+// reboot regime. The open-addressed cache-packed table keeps this
+// within a few ns of the empty-table BenchmarkFastDeliverAllocs number.
+func BenchmarkRouterDeliverLoaded(b *testing.B) {
+	const entries = 100_000
+	h, err := experiments.NewRecvHarness(1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	if n := h.Server.BindBenchCookies(h.Conns[0], 1<<20, entries, true); n != entries {
+		b.Fatalf("bound %d of %d synthetic routes", n, entries)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Deliver(0)
+	}
+}
+
+// BenchmarkAdmissionShedAllocs measures the admission reject path: an
+// identified first message hitting a full endpoint with the storm
+// detector enabled. The Allocs suffix puts it under the perf gate's
+// zero-tolerance rule — shedding must stay free while the endpoint is
+// drowning, or shedding itself becomes the overload.
+func BenchmarkAdmissionShedAllocs(b *testing.B) {
+	sh, err := experiments.NewShedHarness(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sh.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Shed()
+	}
+	b.StopTimer()
+	if got := sh.Server.Snapshot().ShedTotal; got < uint64(b.N) {
+		b.Fatalf("only %d of %d replays were shed", got, b.N)
+	}
+}
+
+// BenchmarkConnChurn measures one full local connect/disconnect cycle —
+// Dial (admission check, routing insert, stack build) plus Close
+// (routing removal, teardown) — the per-connection cost a redialing
+// fleet pays on the server.
+func BenchmarkConnChurn(b *testing.B) {
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	ep, err := core.NewEndpoint(core.Config{Transport: net.Endpoint("S")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := ep.Dial(core.PeerSpec{
+			Addr: "X", LocalID: []byte("s"), RemoteID: []byte("x"),
+			LocalPort: uint16(i%65000 + 1), RemotePort: 9, Epoch: uint32(i / 65000),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}

@@ -43,6 +43,15 @@
 // UDP_SEGMENT the offload arm degrades to sendmmsg and the report says
 // so; -json writes its machine-readable baseline (BENCH_6.json).
 //
+// The churn experiment measures overload robustness: the cache-packed
+// routing table filled to 100k–1M learned entries (bytes/entry, loaded
+// fast-path ns, incremental-GC sweep and pause bounds while draining it
+// all), a seeded mass-redial storm against a small-capacity endpoint
+// (admission fills to MaxConns, the storm detector trips, every refusal
+// is a counted typed error, and one admitted victim connection loses
+// nothing), and the same storm over real UDP loopback; -json writes its
+// machine-readable baseline (BENCH_7.json), and -seed pins the schedule.
+//
 // The telemetry experiment measures the observability layer's overhead:
 // the round-trip fast path with the recorder disabled, enabled at the
 // default 1-in-8 duration sampling, and enabled unsampled, plus the
@@ -51,7 +60,7 @@
 //
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|telemetry] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|telemetry|churn] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -63,12 +72,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, telemetry")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, telemetry, churn")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, or telemetry: also write the machine-readable baseline to this file")
-	seed := flag.Int64("seed", 0, "with -exp faults or recovery: schedule seed (0 = fixed default)")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, telemetry, or churn: also write the machine-readable baseline to this file")
+	seed := flag.Int64("seed", 0, "with -exp faults, recovery, or churn: schedule seed (0 = fixed default)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -171,6 +180,14 @@ func main() {
 			telemetryExp(*quick, *jsonPath)
 		}
 	}
+	if run("churn") {
+		any = true
+		if *simOnly {
+			fmt.Println("churn: skipped (real-hardware measurement only)")
+		} else {
+			churn(*quick, *seed, *jsonPath)
+		}
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -239,6 +256,17 @@ func gso(quick bool, jsonPath string) {
 	fmt.Println(experiments.GSOReport(res))
 	if jsonPath != "" {
 		out, err := experiments.GSOJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func churn(quick bool, seed int64, jsonPath string) {
+	res, err := experiments.Churn(quick, seed)
+	fail(err)
+	fmt.Println(experiments.ChurnReport(res))
+	if jsonPath != "" {
+		out, err := experiments.ChurnJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

@@ -1,0 +1,306 @@
+package core
+
+// Admission control on the unidentified/first-message path (DESIGN.md
+// §14). A datagram that would create a connection — an identified first
+// message hitting the accept hook, or a local Dial — passes admitNew
+// before anything is allocated: the decision reads a handful of atomics
+// (occupancy, the storm bucket, the xorshift state) and returns one of the
+// pre-built typed errors, so shedding a connect storm is itself
+// allocation-free and never touches a lock.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"paccel/internal/telemetry"
+)
+
+// Admission errors. ErrAdmission wraps ErrBackpressure, so existing
+// overload handling (errors.Is(err, ErrBackpressure)) catches shed
+// connections too; the three concrete errors wrap ErrAdmission and name
+// the policy decision that refused the connection. All are package-level
+// values: the shed path must not allocate.
+var (
+	// ErrAdmission is the admission-control category: the endpoint
+	// refused to create a connection to protect itself.
+	ErrAdmission = fmt.Errorf("%w: admission control refused connection", ErrBackpressure)
+	// ErrAdmissionFull reports the connection table at Config.MaxConns.
+	ErrAdmissionFull = fmt.Errorf("%w: connection table at capacity", ErrAdmission)
+	// ErrAdmissionStorm reports the connect-rate cap during a detected
+	// storm (AdmissionConfig.StormRate).
+	ErrAdmissionStorm = fmt.Errorf("%w: connect storm, rate cap reached", ErrAdmission)
+	// ErrAdmissionEarlyDrop reports a probabilistic early drop as the
+	// table approaches capacity (ShedEarlyDrop).
+	ErrAdmissionEarlyDrop = fmt.Errorf("%w: probabilistic early drop near capacity", ErrAdmission)
+)
+
+// ShedPolicy selects what the endpoint does with a new connection when
+// the table is at (or approaching) Config.MaxConns.
+type ShedPolicy uint8
+
+const (
+	// ShedRejectNew (the default) refuses new connections at capacity
+	// with ErrAdmissionFull; established connections are untouched.
+	ShedRejectNew ShedPolicy = iota
+	// ShedEvictIdle makes room at capacity by closing the
+	// least-recently-routed connection with a learned cookie route (the
+	// GC epoch ordering as an LRU approximation). If no idle victim is
+	// found within the bounded scan, the new connection is refused.
+	ShedEvictIdle
+	// ShedEarlyDrop refuses a random fraction of new connections once
+	// occupancy passes AdmissionConfig.EarlyDropStart, ramping linearly
+	// to certain refusal at full — RED applied to connection slots, so
+	// capacity degrades probabilistically instead of at a cliff.
+	ShedEarlyDrop
+)
+
+// String names the policy.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedRejectNew:
+		return "reject-new"
+	case ShedEvictIdle:
+		return "evict-idle"
+	case ShedEarlyDrop:
+		return "early-drop"
+	}
+	return "?"
+}
+
+// AdmissionConfig tunes admission control (Config.Admission). The zero
+// value rejects new connections at Config.MaxConns and never sheds below
+// capacity.
+type AdmissionConfig struct {
+	// Policy selects the shed behaviour at capacity.
+	Policy ShedPolicy
+	// EarlyDropStart is the occupancy fraction where ShedEarlyDrop's
+	// ramp begins; 0 means 0.9. Under a detected storm the start is
+	// halved — admission tightens while the storm lasts.
+	EarlyDropStart float64
+	// StormRate enables storm detection: more than this many connection
+	// attempts within one second marks a storm, and while it lasts
+	// admissions are capped at StormAdmitPerSec. The storm ends after
+	// two consecutive calm seconds (attempt rate below half of
+	// StormRate) — admission relaxes on drain. 0 disables detection.
+	StormRate int
+	// StormAdmitPerSec caps admissions per second during a storm;
+	// 0 means StormRate/2.
+	StormAdmitPerSec int
+	// Seed fixes the early-drop randomness for deterministic tests;
+	// 0 draws from a fixed default.
+	Seed uint64
+}
+
+// admissionState is the endpoint's resolved admission machinery. All
+// fields on the decision path are atomics — admitNew runs on transport
+// receive goroutines and takes no locks.
+type admissionState struct {
+	policy     ShedPolicy
+	dropStart  float64
+	stormRate  int64
+	stormAdmit int64
+
+	rng atomic.Uint64 // xorshift64 state for early drop
+
+	// One-second connect-rate bucket: bucketSec names the second the
+	// counters cover; rotation is a CAS on the second boundary.
+	bucketSec atomic.Int64
+	attempts  atomic.Int64 // connection attempts this second
+	admitted  atomic.Int64 // admissions this second (storm cap)
+
+	stormOn        atomic.Bool
+	calmSecs       atomic.Int64 // consecutive calm buckets while stormOn
+	stormsDetected atomic.Uint64
+
+	evictCursor atomic.Uint64 // rotating start shard for evict-idle scans
+}
+
+func (a *admissionState) init(cfg AdmissionConfig) {
+	a.policy = cfg.Policy
+	a.dropStart = cfg.EarlyDropStart
+	if a.dropStart <= 0 || a.dropStart >= 1 {
+		a.dropStart = 0.9
+	}
+	a.stormRate = int64(cfg.StormRate)
+	a.stormAdmit = int64(cfg.StormAdmitPerSec)
+	if a.stormAdmit <= 0 {
+		a.stormAdmit = a.stormRate / 2
+	}
+	if a.stormAdmit < 1 {
+		a.stormAdmit = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	a.rng.Store(seed)
+}
+
+// randFloat returns a uniform float64 in [0, 1) from the lock-free
+// xorshift state.
+func (a *admissionState) randFloat() float64 {
+	for {
+		s := a.rng.Load()
+		x := s
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if a.rng.CompareAndSwap(s, x) {
+			return float64(x>>11) / (1 << 53)
+		}
+	}
+}
+
+// noteConnect accounts one connection attempt at nowSec and reports
+// whether a storm is in progress. Storm entry is immediate (the attempt
+// that crosses StormRate within one second flips it); exit requires two
+// consecutive calm seconds, evaluated at bucket rotation.
+func (a *admissionState) noteConnect(nowSec int64) (storm, entered, exited bool) {
+	sec := a.bucketSec.Load()
+	if nowSec != sec && a.bucketSec.CompareAndSwap(sec, nowSec) {
+		// This goroutine rotates the bucket: judge the finished second.
+		n := a.attempts.Swap(0)
+		a.admitted.Store(0)
+		if a.stormOn.Load() {
+			calm := n < a.stormRate/2
+			if nowSec-sec > 1 {
+				calm = true // idle seconds are calm seconds
+			}
+			if !calm {
+				a.calmSecs.Store(0)
+			} else if a.calmSecs.Add(1) >= 2 {
+				a.stormOn.Store(false)
+				a.calmSecs.Store(0)
+				exited = true
+			}
+		}
+	}
+	if a.attempts.Add(1) > a.stormRate && !a.stormOn.Swap(true) {
+		a.calmSecs.Store(0)
+		a.stormsDetected.Add(1)
+		entered = true
+	}
+	return a.stormOn.Load(), entered, exited
+}
+
+// Pre-built shed causes for the (rate-limited) telemetry events.
+const (
+	shedCauseFull      = "shed: connection table at capacity"
+	shedCauseStorm     = "shed: connect storm rate cap"
+	shedCauseEarlyDrop = "shed: early drop near capacity"
+	stormCauseEnter    = "storm detected: admission tightened"
+	stormCauseExit     = "storm drained: admission relaxed"
+)
+
+// admitNew is the admission decision for one new-connection attempt. It
+// returns nil to admit or one of the typed admission errors, and runs
+// before any allocation on the unidentified path: every branch reads
+// atomics only. src selects the counter stripe for the shed statistics.
+func (ep *Endpoint) admitNew(src string) error {
+	a := &ep.adm
+	storm := false
+	if a.stormRate > 0 {
+		var entered, exited bool
+		storm, entered, exited = a.noteConnect(ep.cfg.clock().Now().Unix())
+		if entered {
+			ep.tel.Event(telemetry.EventShed, 0, stormCauseEnter)
+			ep.tel.SetGauge(telemetry.GaugeStormActive, 1)
+		}
+		if exited {
+			ep.tel.Event(telemetry.EventShed, 0, stormCauseExit)
+			ep.tel.SetGauge(telemetry.GaugeStormActive, 0)
+		}
+		if storm && a.admitted.Load() >= a.stormAdmit {
+			return ep.shed(src, ErrAdmissionStorm)
+		}
+	}
+	n := ep.connCount.Load()
+	limit := int64(ep.maxConns)
+	if n >= limit {
+		if a.policy != ShedEvictIdle || !ep.evictIdlest() {
+			return ep.shed(src, ErrAdmissionFull)
+		}
+	} else if a.policy == ShedEarlyDrop {
+		start := a.dropStart
+		if storm {
+			start *= 0.5 // tighten the ramp while the storm lasts
+		}
+		if occ := float64(n) / float64(limit); occ >= start {
+			p := (occ - start) / (1 - start)
+			if a.randFloat() < p {
+				return ep.shed(src, ErrAdmissionEarlyDrop)
+			}
+		}
+	}
+	if a.stormRate > 0 {
+		a.admitted.Add(1)
+	}
+	return nil
+}
+
+// shed accounts one refused connection — striped per-reason counters plus
+// a rate-limited telemetry event — and returns the typed error. Shed
+// traffic is never silent: it is visible in EndpointStats and, for the
+// first and every 1024th refusal, in the event ring.
+func (ep *Endpoint) shed(src string, cause error) error {
+	st := ep.stats.stripe(stripeKey(src))
+	var evCause string
+	switch cause {
+	case ErrAdmissionStorm:
+		st.shedStorm.Add(1)
+		evCause = shedCauseStorm
+	case ErrAdmissionEarlyDrop:
+		st.shedEarlyDrop.Add(1)
+		evCause = shedCauseEarlyDrop
+	default:
+		st.shedFull.Add(1)
+		evCause = shedCauseFull
+	}
+	if n := ep.shedTotal.Add(1); n == 1 || n&1023 == 0 {
+		ep.tel.Event(telemetry.EventShed, 0, evCause)
+	}
+	return cause
+}
+
+// evictScanBudget bounds one evict-idle victim search: the scan examines
+// at most this many table slots, so making room stays O(1) relative to
+// the table size.
+const evictScanBudget = 512
+
+// evictIdlest closes the connection owning the oldest-epoch learned
+// cookie route within a bounded scan window, making room for a new
+// connection under ShedEvictIdle. It reports whether a slot was freed.
+// Runs WITHOUT routeMu (Close takes it); the scan holds one shard
+// read-lock at a time.
+func (ep *Endpoint) evictIdlest() bool {
+	var victim *Conn
+	var oldest uint64 = ^uint64(0)
+	scanned := 0
+	start := ep.adm.evictCursor.Add(1)
+	for s := 0; s < cookieShardCount && scanned < evictScanBudget; s++ {
+		sh := &ep.shards[(start+uint64(s))&(cookieShardCount-1)]
+		sh.mu.RLock()
+		for i := 0; i < len(sh.tab.keys) && scanned < evictScanBudget; i++ {
+			if sh.tab.keys[i] == 0 {
+				continue
+			}
+			scanned++
+			m := atomic.LoadUint64(&sh.tab.vals[i].meta)
+			if !metaLearned(m) {
+				continue
+			}
+			if e := metaEpoch(m); e < oldest {
+				oldest = e
+				victim = sh.tab.vals[i].conn
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if victim == nil {
+		return false
+	}
+	ep.admEvictions.Add(1)
+	ep.tel.Event(telemetry.EventShed, 0, "evict-idle: closed idlest connection for admission")
+	victim.Close()
+	return ep.connCount.Load() < int64(ep.maxConns)
+}

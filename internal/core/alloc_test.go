@@ -72,6 +72,7 @@ func TestAllocBudget(t *testing.T) {
 			t.Run("send", func(t *testing.T) { allocSend(t, tc.rec, false) })
 			t.Run("send-unbatched", func(t *testing.T) { allocSend(t, tc.rec, true) })
 			t.Run("deliver", func(t *testing.T) { allocDeliver(t, tc.rec) })
+			t.Run("shed", func(t *testing.T) { allocShed(t, tc.rec) })
 		})
 	}
 }
@@ -187,5 +188,74 @@ func allocDeliver(t *testing.T, rec *telemetry.Recorder) {
 	allocs := testing.AllocsPerRun(500, func() { server.onRecv("C", frame) })
 	if allocs != 0 {
 		t.Fatalf("deliver fast path: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// allocShed asserts the admission reject path is allocation-free: an
+// identified first message arriving at a full endpoint must be refused
+// before the identification is parsed or any connection state allocated —
+// the whole point of shedding is that it stays cheap while the endpoint
+// is drowning. The storm detector is enabled so its per-second
+// bookkeeping is inside the measured budget too.
+func allocShed(t *testing.T, rec *telemetry.Recorder) {
+	t.Helper()
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	tap := &allocTap{Transport: net.Endpoint("S")}
+	server, err := NewEndpoint(Config{
+		Transport: tap, Build: leanBuild,
+		MaxConns:  1,
+		Admission: AdmissionConfig{StormRate: 64, Seed: 9},
+		Accept: func(remote layers.IdentInfo, netSrc string) (PeerSpec, bool) {
+			return PeerSpec{Addr: netSrc}, true
+		},
+		OnConn:    func(c *Conn) { c.OnDeliver(func([]byte) {}) },
+		Telemetry: rec, TelemetrySampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := NewEndpoint(Config{Transport: net.Endpoint("C"), Build: leanBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// The client's identified first message fills the server's one
+	// connection slot; the tap keeps the frame.
+	cc, err := client.Dial(PeerSpec{
+		Addr: "S", LocalID: []byte("client"), RemoteID: []byte("server"),
+		LocalPort: 1000, RemotePort: 2000, Epoch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Send([]byte("fill the table")); err != nil {
+		t.Fatal(err)
+	}
+	tap.mu.Lock()
+	frame := append([]byte(nil), tap.last...)
+	tap.mu.Unlock()
+	if len(frame) == 0 {
+		t.Fatal("no frame captured")
+	}
+	// Flip one identification byte: the replay now looks like a brand-new
+	// peer's first message, misses the ident table, and admission refuses
+	// it at capacity — every single time.
+	frame[PreambleSize] ^= 0xFF
+	before := server.Snapshot()
+	if before.Conns != 1 {
+		t.Fatalf("Conns=%d, want the table full at 1", before.Conns)
+	}
+	for i := 0; i < 256; i++ {
+		server.onRecv("Z", frame)
+	}
+	allocs := testing.AllocsPerRun(500, func() { server.onRecv("Z", frame) })
+	if allocs != 0 {
+		t.Fatalf("shed path: %.2f allocs/op, want 0", allocs)
+	}
+	after := server.Snapshot()
+	if after.Conns != 1 || after.ShedTotal == before.ShedTotal {
+		t.Fatalf("replays were not shed: Conns=%d ShedTotal=%d→%d",
+			after.Conns, before.ShedTotal, after.ShedTotal)
 	}
 }

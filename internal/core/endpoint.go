@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"paccel/internal/bits"
 	"paccel/internal/filter"
@@ -27,24 +28,14 @@ var ErrCookieCollision = errors.New("core: cookie already bound to another conne
 // core count.
 const cookieShardCount = 64
 
-// cookieShard is one slice of the cookie→conn table. Shards are padded to
-// a cache line so two cores routing through neighbouring shards do not
-// false-share.
+// cookieShard is one slice of the cookie→conn table: an open-addressed,
+// cache-line-packed cookieTable (table.go) behind a read-write lock.
+// Shards are padded to two cache lines so two cores routing through
+// neighbouring shards do not false-share.
 type cookieShard struct {
-	mu sync.RWMutex
-	m  map[uint64]*cookieEntry
-	_  [24]byte // pad to 64 bytes
-}
-
-// cookieEntry is one routed cookie. epoch records the GC epoch at last
-// use; the lookup path refreshes it with one atomic store (no lock, no
-// clock read), and the TTL sweep evicts learned entries whose epoch has
-// fallen behind. Pre-agreed cookies (Dial with ExpectInCookie) are
-// learned=false and never evicted.
-type cookieEntry struct {
-	c       *Conn
-	learned bool
-	epoch   atomic.Uint64
+	mu  sync.RWMutex
+	tab cookieTable
+	_   [32]byte // pad to 128 bytes
 }
 
 // shardIndex spreads cookies over the shards. Cookies are uniform random
@@ -126,6 +117,37 @@ type Endpoint struct {
 	tel *telemetry.Recorder
 
 	stats endpointCounters
+
+	// Overload protection (DESIGN.md §14). maxConns is the resolved hard
+	// capacity; connCount the live connections against it (atomic so the
+	// admission decision never takes a lock). adm is the admission
+	// machinery: shed policy, storm detector, early-drop randomness.
+	maxConns  int
+	connCount atomic.Int64
+	adm       admissionState
+
+	// Table memory accounting: tableEntries counts routed cookies,
+	// tableSlots the slots allocated across the shard tables (never
+	// shrinks), tableOverflows binds refused because a shard table hit
+	// its growth ceiling. shedTotal paces the shed telemetry events;
+	// admEvictions counts ShedEvictIdle victims.
+	tableEntries   atomic.Int64
+	tableSlots     atomic.Int64
+	tableOverflows atomic.Uint64
+	shedTotal      atomic.Uint64
+	admEvictions   atomic.Uint64
+
+	// Incremental GC state (all but the atomics guarded by routeMu):
+	// (gcShard, gcSlot) is the sweep cursor, gcBudget the per-sweep slot
+	// budget. gcMaxPause is the worst observed sweep wall time in
+	// nanoseconds — the pause bound made visible.
+	gcShard    int
+	gcSlot     int
+	gcBudget   int
+	gcSweeps   atomic.Uint64
+	gcScanned  atomic.Uint64
+	gcMaxSweep atomic.Uint64
+	gcMaxPause atomic.Int64
 }
 
 // counterStripeCount is the number of counter stripes (power of two).
@@ -148,7 +170,10 @@ type counterStripe struct {
 	txErrors         atomic.Uint64
 	batchSends       atomic.Uint64
 	batchDatagrams   atomic.Uint64
-	_                [4]uint64 // pad to 128 bytes
+	shedFull         atomic.Uint64
+	shedStorm        atomic.Uint64
+	shedEarlyDrop    atomic.Uint64
+	_                [1]uint64 // pad to 128 bytes
 }
 
 // endpointCounters are the router-level counters, striped so concurrent
@@ -207,6 +232,40 @@ type EndpointStats struct {
 	// made visible.
 	RecvQueues         int
 	QueueRecvDatagrams []uint64
+
+	// Overload protection (DESIGN.md §14). Conns/MaxConns is the live
+	// occupancy against the hard capacity. The Shed* counters break
+	// refused connections down by admission decision — a shed connect is
+	// never silent, it is a typed error to the caller and a count here.
+	Conns              int64
+	MaxConns           int
+	ShedFull           uint64 // refused: table at capacity (ErrAdmissionFull)
+	ShedStorm          uint64 // refused: storm rate cap (ErrAdmissionStorm)
+	ShedEarlyDrop      uint64 // refused: probabilistic early drop (ErrAdmissionEarlyDrop)
+	ShedTotal          uint64
+	AdmissionEvictions uint64 // idle connections closed by ShedEvictIdle
+	StormsDetected     uint64
+	StormActive        bool
+
+	// Routing-table memory accounting. TableEntries is the number of
+	// routed cookies, TableSlots the open-addressed slots allocated
+	// across the shards, TableBytes their memory (TableSlots ×
+	// tableSlotBytes), TableBytesPerEntry the amortized per-connection
+	// routing cost. TableOverflows counts binds refused at a shard
+	// table's growth ceiling.
+	TableEntries       int64
+	TableSlots         int64
+	TableBytes         int64
+	TableBytesPerEntry float64
+	TableOverflows     uint64
+
+	// Incremental CookieTTL GC. GCSlotsScanned/GCSweeps is the average
+	// sweep size; GCMaxSweepSlots the largest sweep (bounded by
+	// Config.GCSweepBudget), GCMaxPause the worst sweep wall time.
+	GCSweeps        uint64
+	GCSlotsScanned  uint64
+	GCMaxSweepSlots uint64
+	GCMaxPause      time.Duration
 }
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to the transport.
@@ -224,8 +283,18 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	ep.batch, _ = cfg.Transport.(BatchTransport)
 	ep.mq, _ = cfg.Transport.(MultiQueueTransport)
 	ep.coalescer, _ = cfg.Transport.(Coalescer)
+	ep.maxConns = cfg.maxConns()
+	ep.gcBudget = cfg.gcSweepBudget()
+	ep.adm.init(cfg.Admission)
+	// Each shard's table may grow to hold twice its uniform share of
+	// MaxConns cookies — headroom for hash skew and the open-addressed
+	// load factor — and no further; the hard capacity is connCount.
+	perShard := nextPow2((ep.maxConns*2 + cookieShardCount - 1) / cookieShardCount)
+	if perShard < minTableSlots {
+		perShard = minTableSlots
+	}
 	for i := range ep.shards {
-		ep.shards[i].m = make(map[uint64]*cookieEntry)
+		ep.shards[i].tab.maxSlots = perShard
 	}
 	if err := ep.initTemplate(); err != nil {
 		return nil, err
@@ -238,58 +307,113 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	return ep, nil
 }
 
-// armCookieGC schedules the next TTL sweep. Two sweeps per TTL keep the
-// eviction bound tight (idle between TTL and 1.5×TTL) without scanning
-// the table often.
+// armCookieGC schedules the next GC sweep. The full table is covered
+// twice per TTL (eviction bound: idle between TTL and 1.5×TTL), but one
+// *sweep* examines at most Config.GCSweepBudget slots — when the table
+// outgrows the budget, the pass is split over proportionally more,
+// proportionally closer sweeps, so the receive path never stalls behind
+// a full-table scan. Caller holds routeMu (or is the constructor).
 func (ep *Endpoint) armCookieGC() {
-	iv := ep.cfg.CookieTTL / 2
-	if iv <= 0 {
-		iv = ep.cfg.CookieTTL
+	half := ep.cfg.CookieTTL / 2
+	if half <= 0 {
+		half = ep.cfg.CookieTTL
+	}
+	iv := half
+	if slots := ep.tableSlots.Load(); slots > int64(ep.gcBudget) {
+		sweeps := (slots + int64(ep.gcBudget) - 1) / int64(ep.gcBudget)
+		iv = half / time.Duration(sweeps)
+		if iv < time.Millisecond {
+			iv = time.Millisecond
+		}
 	}
 	ep.gcTimer = ep.cfg.clock().AfterFunc(iv, ep.cookieGC)
 }
 
-// cookieGC is the TTL sweep: learned-cookie bindings that no datagram
-// has routed through for more than CookieTTL are evicted, bounding
-// router memory under peer churn. A live peer whose binding was evicted
-// recovers on its next identified message, which re-learns the cookie —
-// the paper's §2.2 rule that "unusual" messages carry the identification
-// makes eviction safe.
+// cookieGC is one incremental TTL sweep: learned-cookie bindings that no
+// datagram has routed through for more than CookieTTL are evicted,
+// bounding router memory under peer churn. A live peer whose binding was
+// evicted recovers on its next identified message, which re-learns the
+// cookie — the paper's §2.2 rule that "unusual" messages carry the
+// identification makes eviction safe.
+//
+// The sweep resumes at the (gcShard, gcSlot) cursor and examines at most
+// gcBudget slots before re-arming, so its pause is bounded regardless of
+// table size. The GC epoch advances once per *pass* (cursor at origin),
+// which keeps the eviction age identical to the old full-table sweep:
+// an entry stamped at epoch e was last used before pass e+1; age 3
+// guarantees at least two full pass intervals (one TTL) of idleness.
 func (ep *Endpoint) cookieGC() {
 	if ep.closed.Load() {
 		return
 	}
-	cur := ep.gcEpoch.Add(1)
+	t0 := time.Now()
 	ep.routeMu.Lock()
 	defer ep.routeMu.Unlock()
 	if ep.closed.Load() {
 		return
 	}
-	// An entry stamped at epoch e was last used before sweep e+1; age 3
-	// guarantees at least two full intervals (one TTL) of idleness.
+	if ep.gcShard == 0 && ep.gcSlot == 0 {
+		ep.gcEpoch.Add(1)
+	}
+	cur := ep.gcEpoch.Load()
+	scanned := 0
 	if cur >= 3 {
-		for i := range ep.shards {
-			sh := &ep.shards[i]
+		for scanned < ep.gcBudget {
+			sh := &ep.shards[ep.gcShard]
 			sh.mu.Lock()
-			for cookie, e := range sh.m {
-				if e.learned && cur-e.epoch.Load() >= 3 {
-					delete(sh.m, cookie)
-					dropConnCookie(e.c, cookie)
-					ep.stats.stripe(shardIndex(cookie)).cookiesEvicted.Add(1)
+			n := len(sh.tab.keys)
+			for ep.gcSlot < n && scanned < ep.gcBudget {
+				scanned++
+				k := sh.tab.keys[ep.gcSlot]
+				if k != 0 {
+					m := atomic.LoadUint64(&sh.tab.vals[ep.gcSlot].meta)
+					if metaLearned(m) && cur-metaEpoch(m) >= 3 {
+						c := sh.tab.vals[ep.gcSlot].conn
+						sh.tab.delete(k)
+						ep.tableEntries.Add(-1)
+						dropConnCookie(c, k)
+						ep.stats.stripe(shardIndex(k)).cookiesEvicted.Add(1)
+						// Backward-shift deletion may have pulled a
+						// later entry into this slot: re-examine it
+						// (counted against the budget) before moving on.
+						continue
+					}
 				}
+				ep.gcSlot++
 			}
+			done := ep.gcSlot >= n
 			sh.mu.Unlock()
+			if !done {
+				break // budget exhausted mid-shard; resume here next sweep
+			}
+			ep.gcSlot = 0
+			ep.gcShard++
+			if ep.gcShard == cookieShardCount {
+				ep.gcShard = 0
+				break // pass complete
+			}
 		}
 	}
+	ep.gcSweeps.Add(1)
+	ep.gcScanned.Add(uint64(scanned))
+	if max := ep.gcMaxSweep.Load(); uint64(scanned) > max {
+		ep.gcMaxSweep.Store(uint64(scanned))
+	}
+	if pause := int64(time.Since(t0)); pause > ep.gcMaxPause.Load() {
+		ep.gcMaxPause.Store(pause)
+	}
+	ep.updateLoadGauges()
 	ep.armCookieGC()
 }
 
 // dropConnCookie removes one evicted cookie from its connection's
-// bookkeeping. Caller holds routeMu.
+// bookkeeping (swap-remove; order is irrelevant). Caller holds routeMu.
 func dropConnCookie(c *Conn, cookie uint64) {
 	for i, k := range c.inCookies {
 		if k == cookie {
-			c.inCookies = append(c.inCookies[:i], c.inCookies[i+1:]...)
+			last := len(c.inCookies) - 1
+			c.inCookies[i] = c.inCookies[last]
+			c.inCookies = c.inCookies[:last]
 			return
 		}
 	}
@@ -354,7 +478,27 @@ func (ep *Endpoint) Snapshot() EndpointStats {
 		s.TxErrors += st.txErrors.Load()
 		s.BatchSends += st.batchSends.Load()
 		s.BatchDatagrams += st.batchDatagrams.Load()
+		s.ShedFull += st.shedFull.Load()
+		s.ShedStorm += st.shedStorm.Load()
+		s.ShedEarlyDrop += st.shedEarlyDrop.Load()
 	}
+	s.ShedTotal = s.ShedFull + s.ShedStorm + s.ShedEarlyDrop
+	s.Conns = ep.connCount.Load()
+	s.MaxConns = ep.maxConns
+	s.AdmissionEvictions = ep.admEvictions.Load()
+	s.StormsDetected = ep.adm.stormsDetected.Load()
+	s.StormActive = ep.adm.stormOn.Load()
+	s.TableEntries = ep.tableEntries.Load()
+	s.TableSlots = ep.tableSlots.Load()
+	s.TableBytes = s.TableSlots * tableSlotBytes
+	if s.TableEntries > 0 {
+		s.TableBytesPerEntry = float64(s.TableBytes) / float64(s.TableEntries)
+	}
+	s.TableOverflows = ep.tableOverflows.Load()
+	s.GCSweeps = ep.gcSweeps.Load()
+	s.GCSlotsScanned = ep.gcScanned.Load()
+	s.GCMaxSweepSlots = ep.gcMaxSweep.Load()
+	s.GCMaxPause = time.Duration(ep.gcMaxPause.Load())
 	if s.BatchSends > 0 {
 		s.DatagramsPerBatch = float64(s.BatchDatagrams) / float64(s.BatchSends)
 	}
@@ -387,8 +531,10 @@ func (ep *Endpoint) Telemetry() *telemetry.Recorder { return ep.tel }
 func (ep *Endpoint) IdentSize() int { return ep.identSize }
 
 // lookupCookie routes a cookie to its connection, or nil. With GC on,
-// the hit refreshes the entry's epoch — one relaxed atomic store, still
-// no lock and no clock read on the receive path.
+// the hit refreshes the slot's epoch — one atomic store under the shard
+// read-lock (slots move only under the write lock, so the pointer is
+// stable while we hold it), still no exclusive lock and no clock read on
+// the receive path.
 func (ep *Endpoint) lookupCookie(cookie uint64) *Conn {
 	if ep.singleLock {
 		ep.slMu.Lock()
@@ -396,35 +542,59 @@ func (ep *Endpoint) lookupCookie(cookie uint64) *Conn {
 	}
 	sh := &ep.shards[shardIndex(cookie)]
 	sh.mu.RLock()
-	e := sh.m[cookie]
-	sh.mu.RUnlock()
-	if e == nil {
+	v := sh.tab.lookup(cookie)
+	if v == nil {
+		sh.mu.RUnlock()
 		return nil
 	}
+	c := v.conn
 	if ep.gcOn {
-		e.epoch.Store(ep.gcEpoch.Load())
+		m := atomic.LoadUint64(&v.meta)
+		atomic.StoreUint64(&v.meta, metaStamp(m, ep.gcEpoch.Load()))
 	}
-	return e.c
+	sh.mu.RUnlock()
+	return c
 }
 
 // bindCookie records cookie→c, refusing to steal a binding from a live
 // connection. learned marks a binding taken from an identified datagram,
 // subject to TTL eviction; pre-agreed bindings are not. Caller holds
-// routeMu. Reports whether the binding was made.
-func (ep *Endpoint) bindCookie(cookie uint64, c *Conn, learned bool) bool {
-	sh := &ep.shards[shardIndex(cookie)]
-	sh.mu.Lock()
-	if prev, ok := sh.m[cookie]; ok && prev.c != c {
-		sh.mu.Unlock()
-		ep.stats.stripe(shardIndex(cookie)).cookieCollisions.Add(1)
-		return false
+// routeMu. Returns nil, ErrCookieCollision (already bound elsewhere, or
+// the unroutable zero cookie), or ErrAdmissionFull (shard table at its
+// growth ceiling).
+func (ep *Endpoint) bindCookie(cookie uint64, c *Conn, learned bool) error {
+	idx := shardIndex(cookie)
+	if cookie == 0 {
+		// Cookie 0 is the table's empty-slot sentinel; it can never
+		// route, so binding it would silently blackhole the peer.
+		ep.stats.stripe(idx).cookieCollisions.Add(1)
+		return ErrCookieCollision
 	}
-	e := &cookieEntry{c: c, learned: learned}
-	e.epoch.Store(ep.gcEpoch.Load())
-	sh.m[cookie] = e
+	sh := &ep.shards[idx]
+	sh.mu.Lock()
+	if v := sh.tab.lookup(cookie); v != nil {
+		same := v.conn == c
+		sh.mu.Unlock()
+		if same {
+			return nil
+		}
+		ep.stats.stripe(idx).cookieCollisions.Add(1)
+		return ErrCookieCollision
+	}
+	before := len(sh.tab.keys)
+	ok := sh.tab.insert(cookie, c, packMeta(ep.gcEpoch.Load(), learned))
+	grown := len(sh.tab.keys) - before
 	sh.mu.Unlock()
+	if grown != 0 {
+		ep.tableSlots.Add(int64(grown))
+	}
+	if !ok {
+		ep.tableOverflows.Add(1)
+		return ErrAdmissionFull
+	}
+	ep.tableEntries.Add(1)
 	c.inCookies = append(c.inCookies, cookie)
-	return true
+	return nil
 }
 
 // unbindCookies removes all of c's cookie routes. Caller holds routeMu.
@@ -432,8 +602,9 @@ func (ep *Endpoint) unbindCookies(c *Conn) {
 	for _, cookie := range c.inCookies {
 		sh := &ep.shards[shardIndex(cookie)]
 		sh.mu.Lock()
-		if e, ok := sh.m[cookie]; ok && e.c == c {
-			delete(sh.m, cookie)
+		if v := sh.tab.lookup(cookie); v != nil && v.conn == c {
+			sh.tab.delete(cookie)
+			ep.tableEntries.Add(-1)
 		}
 		sh.mu.Unlock()
 	}
@@ -442,10 +613,18 @@ func (ep *Endpoint) unbindCookies(c *Conn) {
 
 // Dial creates a connection to the peer described by spec and registers
 // its routes. The first outgoing message will carry the connection
-// identification (unless the spec pre-agreed cookies).
+// identification (unless the spec pre-agreed cookies). At
+// Config.MaxConns live connections Dial refuses with ErrAdmissionFull —
+// before allocating anything for the new connection — unless the
+// ShedEvictIdle policy can free a slot.
 func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
 	if ep.closed.Load() || ep.draining.Load() {
 		return nil, ErrConnClosed
+	}
+	if ep.connCount.Load() >= int64(ep.maxConns) {
+		if ep.adm.policy != ShedEvictIdle || !ep.evictIdlest() {
+			return nil, ep.shed(spec.Addr, ErrAdmissionFull)
+		}
 	}
 	c, err := newConn(ep, spec)
 	if err != nil {
@@ -457,18 +636,27 @@ func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
 		c.Close()
 		return nil, ErrConnClosed
 	}
+	// Authoritative capacity check under routeMu: concurrent dials may
+	// all have passed the atomic pre-check, but only MaxConns of them
+	// get a slot.
+	if ep.connCount.Load() >= int64(ep.maxConns) {
+		ep.routeMu.Unlock()
+		c.Close()
+		return nil, ep.shed(spec.Addr, ErrAdmissionFull)
+	}
 	if spec.ExpectInCookie != 0 {
 		// Register the pre-agreed cookie first: if it is already bound
 		// to a live connection, rebinding would hijack that
 		// connection's traffic — refuse instead (last-writer-wins was
 		// a silent correctness hole).
-		if !ep.bindCookie(spec.ExpectInCookie&CookieMask, c, false) {
+		if err := ep.bindCookie(spec.ExpectInCookie&CookieMask, c, false); err != nil {
 			ep.routeMu.Unlock()
 			c.Close()
-			return nil, ErrCookieCollision
+			return nil, err
 		}
 	}
 	ep.conns[c] = struct{}{}
+	ep.connCount.Add(1)
 	// Route by the identification the peer will send, in either byte
 	// order — the preamble's order bit is not known in advance.
 	ep.identMu.Lock()
@@ -478,6 +666,7 @@ func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
 	}
 	ep.identMu.Unlock()
 	ep.routeMu.Unlock()
+	ep.updateLoadGauges()
 	ep.tel.Event(telemetry.EventState, c.outCookie, "active")
 	return c, nil
 }
@@ -486,7 +675,10 @@ func (ep *Endpoint) Dial(spec PeerSpec) (*Conn, error) {
 func (ep *Endpoint) removeConn(c *Conn) {
 	ep.routeMu.Lock()
 	defer ep.routeMu.Unlock()
-	delete(ep.conns, c)
+	if _, ok := ep.conns[c]; ok {
+		delete(ep.conns, c)
+		ep.connCount.Add(-1)
+	}
 	ep.identMu.Lock()
 	for k, v := range ep.byIdent {
 		if v == c {
@@ -495,6 +687,41 @@ func (ep *Endpoint) removeConn(c *Conn) {
 	}
 	ep.identMu.Unlock()
 	ep.unbindCookies(c)
+	ep.updateLoadGauges()
+}
+
+// updateLoadGauges refreshes the occupancy gauges (three atomic stores;
+// nil-safe when telemetry is off). Called where connection or table
+// population changes — never on the pure receive path.
+func (ep *Endpoint) updateLoadGauges() {
+	if ep.tel == nil {
+		return
+	}
+	n := ep.connCount.Load()
+	ep.tel.SetGauge(telemetry.GaugeConns, n)
+	ep.tel.SetGauge(telemetry.GaugeTableEntries, ep.tableEntries.Load())
+	ep.tel.SetGauge(telemetry.GaugeOccupancyPct, n*100/int64(ep.maxConns))
+}
+
+// BindBenchCookies bulk-binds n synthetic cookie routes [base, base+n) to
+// c, all marked learned (TTL-evictable) or not. It exists for load tests
+// and the churn benchmarks, which need routing tables of realistic size
+// (100k–1M entries) without holding that many live connections; traffic
+// routed through a synthetic cookie is delivered to c like any other.
+// It returns how many cookies were actually bound (zero or colliding
+// cookies in the range are skipped, and a shard table at its ceiling
+// stops that shard's binds).
+func (ep *Endpoint) BindBenchCookies(c *Conn, base uint64, n int, learned bool) int {
+	ep.routeMu.Lock()
+	defer ep.routeMu.Unlock()
+	bound := 0
+	for i := 0; i < n; i++ {
+		if ep.bindCookie((base+uint64(i))&CookieMask, c, learned) == nil {
+			bound++
+		}
+	}
+	ep.updateLoadGauges()
+	return bound
 }
 
 // Close closes every connection and the transport.
@@ -606,6 +833,14 @@ func (ep *Endpoint) lookupIdent(cid []byte, pre Preamble, src string) *Conn {
 		st.unknownIdent.Add(1)
 		return nil
 	}
+	// Admission control runs before the identification is parsed, the
+	// accept hook consulted, or the connection allocated: shedding a
+	// connect storm costs a few atomic reads per refused datagram and
+	// nothing else. The refusal is counted (Shed* stats, shed events);
+	// the datagram is dropped like any unroutable one.
+	if ep.admitNew(src) != nil {
+		return nil
+	}
 	info := ep.template.ParseIncoming(cid, pre.Order)
 	spec, ok := accept(info, src)
 	if !ok {
@@ -642,6 +877,11 @@ func (ep *Endpoint) lookupIdent(cid []byte, pre Preamble, src string) *Conn {
 // datagram would let a latecomer hijack an established route, so the
 // event is only counted (EndpointStats.CookieCollisions).
 func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
+	if cookie == 0 {
+		// The empty-slot sentinel can't be routed; the peer's traffic
+		// stays on the identified path.
+		return
+	}
 	// Fast path: the common re-identification (every "unusual" message
 	// carries the identification) re-learns the same cookie.
 	if ep.lookupCookie(cookie) == c {
@@ -652,9 +892,12 @@ func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
 	// Re-check under the write lock; another receive may have won.
 	sh := &ep.shards[shardIndex(cookie)]
 	sh.mu.RLock()
-	prev := sh.m[cookie]
+	var prev *Conn
+	if v := sh.tab.lookup(cookie); v != nil {
+		prev = v.conn
+	}
 	sh.mu.RUnlock()
-	if prev != nil && prev.c == c {
+	if prev == c {
 		return
 	}
 	if prev != nil {
@@ -664,7 +907,8 @@ func (ep *Endpoint) learnCookie(c *Conn, cookie uint64) {
 	// Forget this connection's previous cookie, if any (the peer may
 	// have restarted with a fresh cookie).
 	ep.unbindCookies(c)
-	if ep.bindCookie(cookie, c, true) {
+	if ep.bindCookie(cookie, c, true) == nil {
 		ep.stats.stripe(shardIndex(cookie)).cookiesLearned.Add(1)
 	}
+	ep.updateLoadGauges()
 }

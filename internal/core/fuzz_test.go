@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -209,6 +210,86 @@ func FuzzOnRecv(f *testing.F) {
 		epB.onRecv("Z", data)
 		if got := cookieCount(epB); got > 3 {
 			t.Fatalf("cookie table grew to %d routes on one connection", got)
+		}
+	})
+}
+
+// FuzzAdmission throws first-message traffic — genuine identified
+// frames from several peers plus truncated, cookie-flipped and
+// ident-flipped variants — at an endpoint whose connection table is
+// already full. Nothing may panic, the hard capacity must hold no
+// matter what arrives (including under the evict-idle policy, which
+// closes connections from inside the receive path), and the cookie
+// table must stay bounded.
+func FuzzAdmission(f *testing.F) {
+	clk := newTestClock()
+	net := newTestNet(clk)
+	const capacity = 4
+	epS, err := NewEndpoint(Config{
+		Transport: net.Endpoint("S"),
+		Clock:     clk,
+		MaxConns:  capacity,
+		Admission: AdmissionConfig{Policy: ShedEvictIdle, StormRate: 8, Seed: 11},
+		Accept:    acceptAll,
+		OnConn:    func(c *Conn) { c.OnDeliver(func([]byte) {}) },
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { epS.Close() })
+
+	// Fill the table with real peers, recording their wire traffic for
+	// the seed corpus.
+	for i := 0; i < capacity; i++ {
+		rec := &recordingTransport{inner: net.Endpoint(fmt.Sprintf("C%d", i))}
+		ep, err := NewEndpoint(Config{Transport: rec, Clock: clk})
+		if err != nil {
+			f.Fatal(err)
+		}
+		conn, err := ep.Dial(PeerSpec{
+			Addr: "S", LocalID: []byte(fmt.Sprintf("c%d", i)), RemoteID: []byte("srv"),
+			LocalPort: uint16(i + 1), RemotePort: 9,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := conn.Send([]byte("seed")); err != nil {
+			f.Fatal(err)
+		}
+		rec.mu.Lock()
+		for _, d := range rec.sent {
+			f.Add(append([]byte(nil), d...))
+			if len(d) > 9 { // truncated mid-identification
+				f.Add(append([]byte(nil), d[:9]...))
+			}
+			if len(d) > 2 { // cookie flip
+				fl := append([]byte(nil), d...)
+				fl[2] ^= 0x40
+				f.Add(fl)
+			}
+			if len(d) > PreambleSize { // ident flip: a "new" peer
+				fl := append([]byte(nil), d...)
+				fl[PreambleSize] ^= 0xFF
+				f.Add(fl)
+			}
+		}
+		rec.mu.Unlock()
+		ep.Close()
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, PreambleSize))
+	f.Add(append(Preamble{ConnIDPresent: true, Cookie: 9}.Encode(nil), make([]byte, 80)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epS.onRecv("Z", data)
+		if n := epS.connCount.Load(); n > capacity {
+			t.Fatalf("connection count %d exceeds MaxConns=%d", n, capacity)
+		}
+		if got := cookieCount(epS); got > 2*capacity {
+			t.Fatalf("cookie table grew to %d routes at capacity %d", got, capacity)
+		}
+		if epS.tableEntries.Load() < 0 {
+			t.Fatal("table entry accounting went negative")
 		}
 	})
 }

@@ -217,6 +217,22 @@ type Config struct {
 	// the identified first-message path (§2.2). The zero value keeps
 	// failure terminal.
 	Recovery RecoveryConfig
+	// MaxConns is the hard capacity of the endpoint: the maximum number
+	// of live connections (dialed or accepted). At capacity, new
+	// connections are refused with ErrAdmissionFull (or handled by the
+	// configured shed policy) before anything is allocated for them.
+	// 0 means DefaultMaxConns.
+	MaxConns int
+	// Admission tunes the overload-protection machinery on the
+	// new-connection path: shed policy, early-drop ramp, storm
+	// detection. The zero value rejects new connections at MaxConns and
+	// never sheds below capacity. See DESIGN.md §14.
+	Admission AdmissionConfig
+	// GCSweepBudget bounds how many routing-table slots one CookieTTL GC
+	// sweep examines; larger tables are covered by proportionally more
+	// frequent sweeps instead of longer ones, keeping the sweep pause
+	// bounded at any table size. 0 means 4096.
+	GCSweepBudget int
 	// CookieTTL enables garbage collection of learned cookie routes: a
 	// learned binding idle for more than the TTL (at most 1.5×TTL) is
 	// evicted from the router (EndpointStats.CookiesEvicted), bounding
@@ -268,6 +284,24 @@ func (c *Config) maxBacklog() int {
 		return 1024
 	}
 	return c.MaxBacklog
+}
+
+// DefaultMaxConns is the endpoint capacity when Config.MaxConns is 0 —
+// the million-connection target of the churn work, ISSUE/ROADMAP item 2.
+const DefaultMaxConns = 1 << 20
+
+func (c *Config) maxConns() int {
+	if c.MaxConns <= 0 {
+		return DefaultMaxConns
+	}
+	return c.MaxConns
+}
+
+func (c *Config) gcSweepBudget() int {
+	if c.GCSweepBudget <= 0 {
+		return 4096
+	}
+	return c.GCSweepBudget
 }
 
 func (c *Config) maxPendingPost() int {

@@ -120,7 +120,7 @@ func cookieCount(ep *Endpoint) int {
 	for i := range ep.shards {
 		sh := &ep.shards[i]
 		sh.mu.RLock()
-		n += len(sh.m)
+		n += sh.tab.used
 		sh.mu.RUnlock()
 	}
 	return n

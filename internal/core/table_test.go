@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCookieTableBasics exercises the open-addressed table's contract at
+// small scale: lookup/insert/delete round-trips, the zero-cookie
+// sentinel, and emptiness.
+func TestCookieTableBasics(t *testing.T) {
+	var tab cookieTable
+	if tab.lookup(42) != nil {
+		t.Fatal("lookup on empty table hit")
+	}
+	if tab.delete(42) {
+		t.Fatal("delete on empty table reported present")
+	}
+	c := &Conn{}
+	if !tab.insert(42, c, packMeta(7, true)) {
+		t.Fatal("insert refused")
+	}
+	v := tab.lookup(42)
+	if v == nil || v.conn != c {
+		t.Fatalf("lookup after insert: %v", v)
+	}
+	if !metaLearned(v.meta) || metaEpoch(v.meta) != 7 {
+		t.Fatalf("meta round-trip: learned=%v epoch=%d", metaLearned(v.meta), metaEpoch(v.meta))
+	}
+	if tab.lookup(0) != nil {
+		t.Fatal("zero cookie routed")
+	}
+	if !tab.delete(42) {
+		t.Fatal("delete missed present cookie")
+	}
+	if tab.used != 0 || tab.lookup(42) != nil {
+		t.Fatalf("table not empty after delete: used=%d", tab.used)
+	}
+}
+
+// TestCookieTableMetaStamp pins the packed-meta arithmetic: stamping a
+// new epoch must preserve the learned bit, and the epoch must survive
+// the full 63-bit range left after it.
+func TestCookieTableMetaStamp(t *testing.T) {
+	m := packMeta(5, true)
+	m = metaStamp(m, 123456)
+	if !metaLearned(m) || metaEpoch(m) != 123456 {
+		t.Fatalf("stamp lost state: learned=%v epoch=%d", metaLearned(m), metaEpoch(m))
+	}
+	m = packMeta(9, false)
+	m = metaStamp(m, 10)
+	if metaLearned(m) {
+		t.Fatal("stamp invented the learned bit")
+	}
+}
+
+// TestCookieTableAgainstMapReference drives a long random sequence of
+// inserts, deletes and lookups against a plain map and demands identical
+// observable behaviour — the backward-shift deletion and probe-chain
+// logic have to survive arbitrary interleavings, including keys engineered
+// to collide in the low hash bits.
+func TestCookieTableAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tab cookieTable
+	tab.maxSlots = 1 << 12
+	ref := make(map[uint64]*Conn)
+	conns := [4]*Conn{{}, {}, {}, {}}
+	// A small key universe forces constant collisions and re-insertion
+	// of recently deleted keys; the high-bit variant keys collide with
+	// the low ones in every table size's slot mask.
+	key := func() uint64 {
+		k := rng.Uint64()%512 + 1
+		if rng.Intn(2) == 0 {
+			k |= 1 << 40
+		}
+		return k
+	}
+	for i := 0; i < 200000; i++ {
+		k := key()
+		switch rng.Intn(3) {
+		case 0: // insert
+			c := conns[rng.Intn(len(conns))]
+			if _, present := ref[k]; !present {
+				if !tab.insert(k, c, packMeta(uint64(i), i%2 == 0)) {
+					t.Fatalf("op %d: insert %#x refused below ceiling (used=%d cap=%d)", i, k, tab.used, len(tab.keys))
+				}
+				ref[k] = c
+			}
+		case 1: // delete
+			_, present := ref[k]
+			if got := tab.delete(k); got != present {
+				t.Fatalf("op %d: delete %#x = %v, reference %v", i, k, got, present)
+			}
+			delete(ref, k)
+		case 2: // lookup
+			v := tab.lookup(k)
+			c, present := ref[k]
+			if present != (v != nil) {
+				t.Fatalf("op %d: lookup %#x = %v, reference present=%v", i, k, v, present)
+			}
+			if present && v.conn != c {
+				t.Fatalf("op %d: lookup %#x routed to wrong conn", i, k)
+			}
+		}
+		if tab.used != len(ref) {
+			t.Fatalf("op %d: used=%d, reference size=%d", i, tab.used, len(ref))
+		}
+	}
+	// Every surviving key must still route.
+	for k, c := range ref {
+		v := tab.lookup(k)
+		if v == nil || v.conn != c {
+			t.Fatalf("final check: %#x lost", k)
+		}
+	}
+}
+
+// TestCookieTableGrowAndCeiling checks the growth policy: the table
+// doubles at 3/4 load up to maxSlots, then admits up to 7/8 of the
+// ceiling and refuses beyond — the hard-capacity backstop behind
+// Config.MaxConns.
+func TestCookieTableGrowAndCeiling(t *testing.T) {
+	var tab cookieTable
+	tab.maxSlots = 256
+	c := &Conn{}
+	inserted := 0
+	for k := uint64(1); k <= 1024; k++ {
+		if !tab.insert(k, c, 0) {
+			break
+		}
+		inserted++
+	}
+	if len(tab.keys) != 256 {
+		t.Fatalf("table stopped at %d slots, want ceiling 256", len(tab.keys))
+	}
+	want := 256 * 7 / 8
+	if inserted != want {
+		t.Fatalf("admitted %d entries at ceiling, want %d (7/8 of 256)", inserted, want)
+	}
+	// Deleting frees capacity again.
+	if !tab.delete(1) {
+		t.Fatal("delete failed")
+	}
+	if !tab.insert(2000, c, 0) {
+		t.Fatal("insert refused after making room")
+	}
+	// Everything admitted still routes after all the growth.
+	for k := uint64(2); k <= uint64(inserted); k++ {
+		if tab.lookup(k) == nil {
+			t.Fatalf("cookie %d lost across growth", k)
+		}
+	}
+}
+
+// TestCookieTableBackwardShift pins the deletion edge case: keys that
+// probe past their home slot must remain reachable after an earlier
+// chain member is deleted (no tombstones, chains are compacted).
+func TestCookieTableBackwardShift(t *testing.T) {
+	var tab cookieTable
+	tab.maxSlots = minTableSlots
+	c := &Conn{}
+	// Find keys that share a home slot in a 64-slot table.
+	home := func(k uint64) uint64 { return slotHash(k) & (minTableSlots - 1) }
+	var cluster []uint64
+	target := home(1)
+	for k := uint64(1); len(cluster) < 5 && k < 1<<20; k++ {
+		if home(k) == target {
+			cluster = append(cluster, k)
+		}
+	}
+	if len(cluster) < 5 {
+		t.Fatal("could not build a collision cluster")
+	}
+	for _, k := range cluster {
+		if !tab.insert(k, c, 0) {
+			t.Fatalf("insert %#x refused", k)
+		}
+	}
+	// Delete the head of the chain; the rest must still route.
+	if !tab.delete(cluster[0]) {
+		t.Fatal("delete failed")
+	}
+	for _, k := range cluster[1:] {
+		if tab.lookup(k) == nil {
+			t.Fatalf("cookie %#x unreachable after backward shift", k)
+		}
+	}
+	// And the slots are compacted: re-deleting and re-inserting works.
+	for _, k := range cluster[1:] {
+		if !tab.delete(k) {
+			t.Fatalf("delete %#x failed", k)
+		}
+	}
+	if tab.used != 0 {
+		t.Fatalf("used=%d after deleting all", tab.used)
+	}
+}
+
+// TestNextPow2 pins the rounding helper.
+func TestNextPow2(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128}, {1 << 20, 1 << 20}, {1<<20 + 1, 1 << 21}} {
+		if got := nextPow2(tc[0]); got != tc[1] {
+			t.Fatalf("nextPow2(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}

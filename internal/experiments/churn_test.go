@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// TestChurnLoadSmall runs the load scenario at a size that still forces
+// multiple incremental-GC sweeps, checking the in-harness assertions
+// (budget bound, clean drain) hold under the race detector.
+func TestChurnLoadSmall(t *testing.T) {
+	pt, err := churnLoad(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.BytesPerEntry <= 0 || pt.BytesPerEntry > 512 {
+		t.Fatalf("implausible bytes/entry %.1f", pt.BytesPerEntry)
+	}
+	if !pt.DrainedClean {
+		t.Fatal("GC did not drain the table")
+	}
+}
+
+// TestChurnStormSmall runs a small seeded redial storm end-to-end: the
+// harness itself fails the run on silent shed accounting, victim
+// message loss, or a detector that never trips.
+func TestChurnStormSmall(t *testing.T) {
+	res, err := churnStorm(1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AccountedLossless || !res.StormExited {
+		t.Fatalf("storm result: %+v", res)
+	}
+	// (Shed allocs are asserted by TestAllocBudget and the perf gate;
+	// under the race detector AllocsPerRun reports instrumentation.)
+}
+
+// TestChurnUDPSmall replays a small storm over real loopback sockets.
+func TestChurnUDPSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	res, err := churnUDP(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accounted {
+		t.Fatalf("udp storm result: %+v", res)
+	}
+}
+
+// TestShedHarness pins the fixture the benchmarks stand on: Deliver
+// routes to the admitted connection, Shed is refused every time.
+func TestShedHarness(t *testing.T) {
+	sh, err := NewShedHarness(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	before := sh.Server.Snapshot()
+	for i := 0; i < 100; i++ {
+		sh.Deliver()
+		sh.Shed()
+	}
+	after := sh.Server.Snapshot()
+	if after.Conns != 1 {
+		t.Fatalf("Conns = %d, want 1", after.Conns)
+	}
+	if got := after.ShedTotal - before.ShedTotal; got != 100 {
+		t.Fatalf("ShedTotal grew %d, want 100", got)
+	}
+	if after.StormsDetected != 0 {
+		t.Fatalf("quiet harness tripped the storm detector")
+	}
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import "sync/atomic"
+
+// Gauges: last-value-wins instantaneous readings, as opposed to the
+// histograms (distributions) and the event ring (history). The engine
+// uses them for endpoint load — live connections, routing-table entries,
+// occupancy against the configured capacity, whether the storm detector
+// is tripped — updated where population changes, never on the
+// per-message paths. A gauge set is a single atomic store.
+
+// Gauge names one instantaneous reading.
+type Gauge uint8
+
+// The engine's load gauges.
+const (
+	// GaugeConns is the endpoint's live connection count.
+	GaugeConns Gauge = iota
+	// GaugeTableEntries is the number of routed cookies across the
+	// router's shard tables.
+	GaugeTableEntries
+	// GaugeOccupancyPct is live connections as a percentage of the
+	// configured hard capacity (Config.MaxConns).
+	GaugeOccupancyPct
+	// GaugeStormActive is 1 while the admission storm detector is
+	// tripped, 0 otherwise.
+	GaugeStormActive
+
+	// NumGauges bounds the Gauge space.
+	NumGauges
+)
+
+var gaugeNames = [NumGauges]string{
+	"conns", "table_entries", "occupancy_pct", "storm_active",
+}
+
+// String names the gauge.
+func (g Gauge) String() string {
+	if int(g) < len(gaugeNames) {
+		return gaugeNames[g]
+	}
+	return "?"
+}
+
+// SetGauge stores the current value of g. Nil-safe, lock-free,
+// allocation-free.
+func (r *Recorder) SetGauge(g Gauge, v int64) {
+	if r == nil || g >= NumGauges {
+		return
+	}
+	r.gauges[g].Store(v)
+}
+
+// GaugeValue reads the current value of g (0 if never set). Nil-safe.
+func (r *Recorder) GaugeValue(g Gauge) int64 {
+	if r == nil || g >= NumGauges {
+		return 0
+	}
+	return r.gauges[g].Load()
+}
+
+type gaugeSet [NumGauges]atomic.Int64

@@ -30,9 +30,13 @@ const (
 	// EventResume is a session-resumption action: a recovery probe
 	// round or a window replay.
 	EventResume
+	// EventShed is an admission-control action: a refused connection
+	// (rate-limited — the first and every 1024th), a storm detector
+	// transition, or an idle eviction made for admission.
+	EventShed
 )
 
-var eventKindNames = [...]string{"state", "fault", "migration", "resume"}
+var eventKindNames = [...]string{"state", "fault", "migration", "resume", "shed"}
 
 // String names the kind.
 func (k EventKind) String() string {

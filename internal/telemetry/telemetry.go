@@ -95,9 +95,10 @@ const DefaultEventCapacity = 512
 // *Recorder is valid and records nothing — the disabled path is one
 // branch per instrumentation site.
 type Recorder struct {
-	clock vclock.Clock
-	hists [NumShards][NumOps]histShard
-	ring  eventRing
+	clock  vclock.Clock
+	hists  [NumShards][NumOps]histShard
+	ring   eventRing
+	gauges gaugeSet
 }
 
 // New creates a Recorder.
@@ -142,6 +143,8 @@ type Snapshot struct {
 	// every event ever appended, including overwritten ones.
 	Events      []Event `json:"events"`
 	EventsTotal uint64  `json:"events_total"`
+	// Gauges are the instantaneous load readings by gauge name.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
 }
 
 // Snapshot captures the recorder state. withBuckets includes the raw
@@ -161,6 +164,10 @@ func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
 		s.Ops = append(s.Ops, summarize(op.String(), &merged, count, sum, withBuckets))
 	}
 	s.Events, s.EventsTotal = r.ring.snapshot()
+	s.Gauges = make(map[string]int64, NumGauges)
+	for g := Gauge(0); g < NumGauges; g++ {
+		s.Gauges[g.String()] = r.gauges[g].Load()
+	}
 	return s
 }
 

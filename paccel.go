@@ -94,6 +94,15 @@ type (
 	// schedule with full jitter, resuming the session through the
 	// identified first-message path instead of going terminal.
 	RecoveryConfig = core.RecoveryConfig
+	// AdmissionConfig configures overload protection (Config.Admission):
+	// the shed policy applied when the endpoint is at Config.MaxConns,
+	// the early-drop ramp, and the connect-storm detector that tightens
+	// admission during churn spikes and relaxes on drain. See DESIGN.md
+	// §14.
+	AdmissionConfig = core.AdmissionConfig
+	// ShedPolicy selects what happens to a new connection arriving at a
+	// full endpoint.
+	ShedPolicy = core.ShedPolicy
 )
 
 // Simulated network types.
@@ -131,11 +140,41 @@ var (
 	// ErrCookieCollision reports a Dial whose pre-agreed incoming cookie
 	// is already routed to a live connection.
 	ErrCookieCollision = core.ErrCookieCollision
+	// ErrAdmission is the category every admission refusal wraps: the
+	// endpoint refused to create a connection under overload. Wraps
+	// ErrBackpressure, so existing overload handling catches it.
+	ErrAdmission = core.ErrAdmission
+	// ErrAdmissionFull reports a connection refused because the endpoint
+	// holds Config.MaxConns connections. Wraps ErrAdmission.
+	ErrAdmissionFull = core.ErrAdmissionFull
+	// ErrAdmissionStorm reports a connection refused by the connect-storm
+	// limiter (AdmissionConfig.StormRate). Wraps ErrAdmission.
+	ErrAdmissionStorm = core.ErrAdmissionStorm
+	// ErrAdmissionEarlyDrop reports a connection probabilistically shed
+	// as the table approached capacity (ShedEarlyDrop policy). Wraps
+	// ErrAdmission.
+	ErrAdmissionEarlyDrop = core.ErrAdmissionEarlyDrop
 	// ErrDatagramTooLarge reports a datagram over the UDP transport's
 	// 65507-byte payload ceiling; the fragmentation layer normally
 	// splits messages well below it.
 	ErrDatagramTooLarge = udp.ErrDatagramTooLarge
 )
+
+// Shed policies (AdmissionConfig.Policy).
+const (
+	// ShedRejectNew refuses new connections at capacity (the default).
+	ShedRejectNew = core.ShedRejectNew
+	// ShedEvictIdle evicts the longest-idle learned connection to make
+	// room for a new one.
+	ShedEvictIdle = core.ShedEvictIdle
+	// ShedEarlyDrop probabilistically refuses new connections as the
+	// table fills, spreading refusals before the hard wall.
+	ShedEarlyDrop = core.ShedEarlyDrop
+)
+
+// DefaultMaxConns is the connection-capacity default when Config.MaxConns
+// is zero: one million connections per endpoint.
+const DefaultMaxConns = core.DefaultMaxConns
 
 // ConnState is a connection's lifecycle state (Conn.State).
 type ConnState = core.ConnState
