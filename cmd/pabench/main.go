@@ -52,6 +52,16 @@
 // nothing), and the same storm over real UDP loopback; -json writes its
 // machine-readable baseline (BENCH_7.json), and -seed pins the schedule.
 //
+// The topo experiment drives the engine across the virtual internet —
+// routed multi-hop topologies with finite router queues and NAT
+// middleboxes — under three seeded schedules: a NAT mapping that idles
+// out and rebinds mid-session, a partition-and-heal along an interior
+// edge, and a bufferbloat ramp into queue overflow. Each schedule must
+// end exactly-once in-order with overload surfaced as typed
+// backpressure; -json writes its baseline (BENCH_8.json) plus a pcap
+// trace of each schedule's interior edge next to it, and -seed pins the
+// schedule.
+//
 // The telemetry experiment measures the observability layer's overhead:
 // the round-trip fast path with the recorder disabled, enabled at the
 // default 1-in-8 duration sampling, and enabled unsampled, plus the
@@ -60,24 +70,26 @@
 //
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|telemetry|churn] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|telemetry|churn|topo] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"paccel/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, telemetry, churn")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, telemetry, churn, topo")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, telemetry, or churn: also write the machine-readable baseline to this file")
-	seed := flag.Int64("seed", 0, "with -exp faults, recovery, or churn: schedule seed (0 = fixed default)")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, telemetry, churn, or topo: also write the machine-readable baseline to this file")
+	seed := flag.Int64("seed", 0, "with -exp faults, recovery, churn, or topo: schedule seed (0 = fixed default)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -188,6 +200,10 @@ func main() {
 			churn(*quick, *seed, *jsonPath)
 		}
 	}
+	if run("topo") {
+		any = true
+		topoExp(*quick, *seed, *jsonPath)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -267,6 +283,33 @@ func churn(quick bool, seed int64, jsonPath string) {
 	fmt.Println(experiments.ChurnReport(res))
 	if jsonPath != "" {
 		out, err := experiments.ChurnJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func topoExp(quick bool, seed int64, jsonPath string) {
+	// Each schedule's interior-edge trace lands next to the baseline
+	// (topo_<schedule>.pcap); without -json the traces are discarded.
+	var pcapFor func(string) io.Writer
+	var opened []*os.File
+	if jsonPath != "" {
+		dir := filepath.Dir(jsonPath)
+		pcapFor = func(scenario string) io.Writer {
+			f, err := os.Create(filepath.Join(dir, "topo_"+scenario+".pcap"))
+			fail(err)
+			opened = append(opened, f)
+			return f
+		}
+	}
+	res, err := experiments.Topo(quick, seed, pcapFor)
+	for _, f := range opened {
+		fail(f.Close())
+	}
+	fail(err)
+	fmt.Println(experiments.TopoReport(res))
+	if jsonPath != "" {
+		out, err := experiments.TopoJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

@@ -143,11 +143,36 @@ func (r *recordingTransport) SetHandler(h func(string, []byte)) { r.inner.SetHan
 func (r *recordingTransport) LocalAddr() string                 { return r.inner.LocalAddr() }
 func (r *recordingTransport) Close() error                      { return r.inner.Close() }
 
+// fuzzSources is the pool of source addresses fuzz datagrams claim to
+// arrive from: the plain unknown source plus NAT-rewritten shapes — the
+// same external IP on shifting ports, the mid-stream rebind — and a
+// second middlebox entirely. Each input picks its source from its own
+// bytes, so the corpus exercises identical frames arriving from
+// never-seen addresses.
+var fuzzSources = []string{
+	"Z",
+	"198.51.100.1:60000",
+	"198.51.100.1:60001", // same NAT, rebound port
+	"203.0.113.9:60000",  // different middlebox
+}
+
+func fuzzSource(data []byte) string {
+	var h uint32 = 2166136261
+	for _, b := range data {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return fuzzSources[h%uint32(len(fuzzSources))]
+}
+
 // FuzzOnRecv feeds arbitrary whole datagrams — seeded with genuine
-// data, identification, and resume-probe traffic plus truncated and
-// cookie-flipped variants — straight into Endpoint.onRecv from an
-// unexpected source address. Nothing may panic, and the cookie table
-// must stay bounded (learned routes replace, never accumulate).
+// data, identification, and resume-probe traffic plus truncated,
+// cookie-flipped, and rebind-shaped variants — straight into
+// Endpoint.onRecv from NAT-rewritten source addresses. Nothing may
+// panic, the cookie table must stay bounded (learned routes replace,
+// never accumulate), and the route may migrate to a never-seen source
+// only when the datagram carried the connection identification — a
+// cookie-only datagram from a rewritten address must not move the
+// peer.
 func FuzzOnRecv(f *testing.F) {
 	clk := newTestClock()
 	net := newTestNet(clk)
@@ -174,7 +199,8 @@ func FuzzOnRecv(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	if _, err := epB.Dial(sb); err != nil {
+	b, err := epB.Dial(sb)
+	if err != nil {
 		f.Fatal(err)
 	}
 	// Generate real traffic: an identified first message, then a forced
@@ -201,13 +227,29 @@ func FuzzOnRecv(f *testing.F) {
 			fl[2] ^= 0x40
 			f.Add(fl)
 		}
+		// Mid-stream rebind: the same genuine frame, padded so it
+		// hashes to a different (NAT-rewritten) source address. Pads of
+		// 1..3 walk the frame across the source pool.
+		for pad := 1; pad <= 3; pad++ {
+			f.Add(append(append([]byte(nil), d...), make([]byte, pad)...))
+		}
 	}
 	rec.mu.Unlock()
 	f.Add([]byte{})
 	f.Add(make([]byte, PreambleSize))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		epB.onRecv("Z", data)
+		src := fuzzSource(data)
+		before := b.RemoteAddr()
+		epB.onRecv(src, data)
+		if after := b.RemoteAddr(); after != before && after == src {
+			// The route moved to the fuzz source: only an identified
+			// datagram is allowed to do that.
+			p, err := DecodePreamble(data)
+			if err != nil || !p.ConnIDPresent {
+				t.Fatalf("cookie-only datagram %x from %s migrated the route", data, src)
+			}
+		}
 		if got := cookieCount(epB); got > 3 {
 			t.Fatalf("cookie table grew to %d routes on one connection", got)
 		}
@@ -215,12 +257,14 @@ func FuzzOnRecv(f *testing.F) {
 }
 
 // FuzzAdmission throws first-message traffic — genuine identified
-// frames from several peers plus truncated, cookie-flipped and
-// ident-flipped variants — at an endpoint whose connection table is
-// already full. Nothing may panic, the hard capacity must hold no
-// matter what arrives (including under the evict-idle policy, which
-// closes connections from inside the receive path), and the cookie
-// table must stay bounded.
+// frames from several peers plus truncated, cookie-flipped,
+// ident-flipped and rebind-shaped variants — at an endpoint whose
+// connection table is already full, from NAT-rewritten source
+// addresses. Nothing may panic, the hard capacity must hold no matter
+// what arrives (including under the evict-idle policy, which closes
+// connections from inside the receive path), and the cookie table must
+// stay bounded even when known frames keep reappearing from never-seen
+// sources.
 func FuzzAdmission(f *testing.F) {
 	clk := newTestClock()
 	net := newTestNet(clk)
@@ -272,6 +316,10 @@ func FuzzAdmission(f *testing.F) {
 				fl[PreambleSize] ^= 0xFF
 				f.Add(fl)
 			}
+			// Mid-stream rebind: the same admitted peer's frame, padded
+			// onto different NAT-rewritten source addresses.
+			f.Add(append(append([]byte(nil), d...), 0))
+			f.Add(append(append([]byte(nil), d...), 0, 0))
 		}
 		rec.mu.Unlock()
 		ep.Close()
@@ -281,7 +329,7 @@ func FuzzAdmission(f *testing.F) {
 	f.Add(append(Preamble{ConnIDPresent: true, Cookie: 9}.Encode(nil), make([]byte, 80)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		epS.onRecv("Z", data)
+		epS.onRecv(fuzzSource(data), data)
 		if n := epS.connCount.Load(); n > capacity {
 			t.Fatalf("connection count %d exceeds MaxConns=%d", n, capacity)
 		}
@@ -298,4 +346,87 @@ func newTestClock() *vclock.Manual { return vclock.NewManual(t0) }
 
 func newTestNet(clk *vclock.Manual) *netsim.Network {
 	return netsim.New(clk, netsim.Config{})
+}
+
+// TestMigrationGateUnderRewrittenSources pins the NAT-rebind contract
+// the fuzz targets probe statistically: replaying genuine wire frames
+// from a never-seen (NAT-rewritten) source address migrates the peer's
+// route only when the frame carries the connection identification. The
+// cookie-only steady-state frame — exactly what flows right after a
+// real rebind — must leave the route alone.
+func TestMigrationGateUnderRewrittenSources(t *testing.T) {
+	clk := newTestClock()
+	net := newTestNet(clk)
+	rec := &recordingTransport{inner: net.Endpoint("A")}
+	epA, err := NewEndpoint(Config{Transport: rec, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := NewEndpoint(Config{Transport: net.Endpoint("B"), Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	sa, sb := specAB()
+	a, err := epA.Dial(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epB.Dial(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.OnDeliver(func([]byte) {})
+
+	// Drive an identified first message, let the ack confirm it, then a
+	// cookie-only steady-state message.
+	for _, msg := range []string{"first", "steady"} {
+		if err := a.Send([]byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			clk.Advance(10 * time.Millisecond)
+		}
+	}
+	var identified, cookieOnly []byte
+	rec.mu.Lock()
+	for _, d := range rec.sent {
+		p, err := DecodePreamble(d)
+		if err != nil {
+			continue
+		}
+		if p.ConnIDPresent && identified == nil {
+			identified = append([]byte(nil), d...)
+		}
+		if !p.ConnIDPresent && cookieOnly == nil {
+			cookieOnly = append([]byte(nil), d...)
+		}
+	}
+	rec.mu.Unlock()
+	if identified == nil || cookieOnly == nil {
+		t.Fatal("traffic did not produce both frame classes")
+	}
+	home := b.RemoteAddr()
+
+	// A cookie-only frame from a rewritten source: routed to the
+	// connection by its cookie, but the route must not follow it.
+	epB.onRecv("198.51.100.1:60001", cookieOnly)
+	if got := b.RemoteAddr(); got != home {
+		t.Fatalf("cookie-only frame migrated the route %s -> %s", home, got)
+	}
+	if st := b.Stats(); st.PeerMigrations != 0 {
+		t.Fatalf("PeerMigrations = %d after a cookie-only frame", st.PeerMigrations)
+	}
+
+	// The identified frame from another rewritten source: the window
+	// drops the duplicate, but identification vets the source and the
+	// route follows — the post-rebind heal path.
+	epB.onRecv("198.51.100.1:60002", identified)
+	if got := b.RemoteAddr(); got != "198.51.100.1:60002" {
+		t.Fatalf("identified frame did not migrate the route: still %s", got)
+	}
+	if st := b.Stats(); st.PeerMigrations != 1 {
+		t.Fatalf("PeerMigrations = %d after the identified frame", st.PeerMigrations)
+	}
 }

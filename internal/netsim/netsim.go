@@ -212,6 +212,15 @@ const (
 )
 
 // SetLinkDown partitions (or heals) the directed link src→dst.
+//
+// The semantics are deliberately directed: only datagrams flowing
+// src→dst are affected, and dst→src traffic still passes. That is the
+// right primitive for asymmetric faults (a peer that can hear but not
+// be heard), but it is easy to misuse when a full partition is meant —
+// a "partition" that cuts one direction leaves acknowledgements
+// flowing and most protocols limp along instead of failing over. For
+// a bidirectional cut, call Partition (and Heal), which sever every
+// pair across two endpoint groups in both directions.
 func (n *Network) SetLinkDown(src, dst Addr, isDown bool) {
 	n.mu.Lock()
 	n.down[link{src, dst}] = isDown
@@ -221,6 +230,33 @@ func (n *Network) SetLinkDown(src, dst Addr, isDown bool) {
 		cause = causePartition
 	}
 	n.tel.Load().Event(telemetry.EventFault, 0, cause+": "+src+"->"+dst)
+}
+
+// Partition severs connectivity between the two endpoint groups: every
+// (a, b) pair with a in group a and b in group b is cut in BOTH
+// directions, the bidirectional cut SetLinkDown's directed semantics
+// make easy to get wrong. Links within a group are untouched. Heal
+// reverses it.
+func (n *Network) Partition(a, b []Addr) { n.setGroupsDown(a, b, true) }
+
+// Heal restores connectivity between the two endpoint groups, undoing
+// a Partition of the same groups (both directions of every cross pair).
+func (n *Network) Heal(a, b []Addr) { n.setGroupsDown(a, b, false) }
+
+func (n *Network) setGroupsDown(a, b []Addr, isDown bool) {
+	n.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			n.down[link{x, y}] = isDown
+			n.down[link{y, x}] = isDown
+		}
+	}
+	n.mu.Unlock()
+	cause := causeHealed
+	if isDown {
+		cause = causePartition
+	}
+	n.tel.Load().Event(telemetry.EventFault, 0, cause+": groups "+fmt.Sprint(a)+"<->"+fmt.Sprint(b))
 }
 
 // Endpoint attaches (or returns) the endpoint with the given address.

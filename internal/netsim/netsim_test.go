@@ -474,3 +474,64 @@ func TestCloseDuringDrainDoesNotPanic(t *testing.T) {
 	}
 	time.Sleep(50 * time.Millisecond) // let timers fire against the closed endpoint
 }
+
+// TestPartitionBidirectional is the regression test for the
+// Partition/Heal group helpers: SetLinkDown is directed (and stays
+// that way), while Partition must cut every cross-group pair in both
+// directions and leave intra-group links alone.
+func TestPartitionBidirectional(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n := New(clk, Config{})
+	eps := map[Addr]*Endpoint{}
+	caps := map[Addr]*capture{}
+	for _, a := range []Addr{"a1", "a2", "b1", "b2"} {
+		eps[a] = n.Endpoint(a)
+		c := &capture{}
+		caps[a] = c
+		eps[a].SetHandler(c.handler(clk))
+	}
+	send := func(src, dst Addr) bool {
+		before := caps[dst].count()
+		if err := eps[src].Send(dst, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		return caps[dst].count() == before+1
+	}
+
+	// Directed semantics of the raw primitive: a→b cut, b→a alive.
+	n.SetLinkDown("a1", "b1", true)
+	if send("a1", "b1") {
+		t.Fatal("a1->b1 should be down")
+	}
+	if !send("b1", "a1") {
+		t.Fatal("SetLinkDown must stay directed: b1->a1 should pass")
+	}
+	n.SetLinkDown("a1", "b1", false)
+
+	// Group partition: every cross pair dead in both directions.
+	n.Partition([]Addr{"a1", "a2"}, []Addr{"b1", "b2"})
+	for _, src := range []Addr{"a1", "a2"} {
+		for _, dst := range []Addr{"b1", "b2"} {
+			if send(src, dst) {
+				t.Fatalf("partitioned %s->%s delivered", src, dst)
+			}
+			if send(dst, src) {
+				t.Fatalf("partitioned %s->%s delivered", dst, src)
+			}
+		}
+	}
+	// Intra-group traffic is untouched.
+	if !send("a1", "a2") || !send("b1", "b2") {
+		t.Fatal("partition must not cut intra-group links")
+	}
+
+	// Heal restores every pair, both directions.
+	n.Heal([]Addr{"a1", "a2"}, []Addr{"b1", "b2"})
+	for _, src := range []Addr{"a1", "a2"} {
+		for _, dst := range []Addr{"b1", "b2"} {
+			if !send(src, dst) || !send(dst, src) {
+				t.Fatalf("healed %s<->%s did not deliver", src, dst)
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package topo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Host is one endpoint at the topology's edge. It implements the
+// engine's Transport and BatchTransport contracts, so anything that
+// runs over netsim or real UDP runs over a routed multi-hop topology
+// unchanged: borrow-only delivery (the handler owns the datagram slice
+// only for the duration of the call), slice-order SendBatch where sent
+// is a prefix count and loss is not an error, and buffer ownership
+// returned to the caller as soon as Send returns.
+type Host struct {
+	inet *Internet
+	node string
+	addr Addr
+
+	closed   atomic.Bool
+	mu       sync.Mutex
+	handler  func(src Addr, datagram []byte)
+	inbox    deliveryHeap
+	draining bool
+}
+
+// Host attaches (or returns) the endpoint with the given "ip:port"
+// address, linked to the topology through via (a router or NAT box)
+// with the given access-link config, both directions. Subsequent
+// endpoints on the same IP share the host node — and its access link —
+// like processes sharing a machine; their via must match the first.
+func (n *Internet) Host(addr Addr, via string, cfg LinkConfig) *Host {
+	ip := ipOf(addr)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd := n.nodes[ip]
+	if nd == nil {
+		if n.nodes[via] == nil {
+			panic(fmt.Sprintf("topo: host %q: unknown attachment node %q", addr, via))
+		}
+		if owner, ok := n.ipOwner[ip]; ok {
+			panic(fmt.Sprintf("topo: IP %q already owned by %q", ip, owner))
+		}
+		nd = n.addNode(ip, kindHost)
+		nd.hosts = make(map[Addr]*Host)
+		n.ipOwner[ip] = ip
+		nd.nbrs[via] = newLink(ip, via, cfg)
+		n.nodes[via].nbrs[ip] = newLink(via, ip, cfg)
+		n.recomputeLocked()
+	} else if nd.kind != kindHost {
+		panic(fmt.Sprintf("topo: %q is a %v, not a host IP", ip, nd.kind))
+	} else if _, ok := nd.nbrs[via]; !ok {
+		panic(fmt.Sprintf("topo: host %q: IP %q is attached elsewhere", addr, ip))
+	}
+	if h, ok := nd.hosts[addr]; ok {
+		return h
+	}
+	h := &Host{inet: n, node: ip, addr: addr}
+	nd.hosts[addr] = h
+	return h
+}
+
+// LocalAddr returns the host's address.
+func (h *Host) LocalAddr() Addr { return h.addr }
+
+// SetHandler installs the receive callback. The handler runs on the
+// delivering goroutine; the datagram slice is pooled and only valid for
+// the duration of the call.
+func (h *Host) SetHandler(fn func(src Addr, datagram []byte)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handler = fn
+}
+
+// Close detaches the host; further sends fail, queued deliveries are
+// discarded, and in-flight packets addressed to it become route drops.
+func (h *Host) Close() error {
+	h.closed.Store(true)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.inbox {
+		bufPool.Put(h.inbox[i].data)
+		h.inbox[i] = delivery{}
+	}
+	h.inbox = nil
+	return nil
+}
+
+// Send transmits a datagram to dst across the topology. The data is
+// copied into a pooled buffer; delivery is unreliable — every loss
+// class from queue overflow to NAT expiry applies hop by hop. Only a
+// first-hop MTU violation is the sender's own error; an unknown or
+// unreachable destination is silent loss, exactly like a real datagram
+// network.
+func (h *Host) Send(dst Addr, datagram []byte) error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	n := h.inet
+	n.mu.Lock()
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(datagram))
+
+	// First hop: the access link's MTU is the local interface's, and
+	// exceeding it is a sender-visible typed error (netsim and UDP
+	// agree). There is exactly one access link unless the host is
+	// multihomed, in which case routing picks.
+	nd := n.nodes[h.node]
+	owner := n.ipOwner[ipOf(dst)]
+	var hop string
+	if owner != "" {
+		hop = n.routes[h.node][owner]
+	}
+	if hop == "" && owner == h.node {
+		hop = h.node // loopback: same-IP destination, delivered locally
+	}
+	if hop == "" {
+		n.stats.RouteDrops++
+		n.mu.Unlock()
+		return nil
+	}
+	if l := nd.nbrs[hop]; l != nil && len(datagram) > l.cfg.mtu() {
+		n.stats.Sent-- // never offered to the network
+		n.stats.BytesSent -= uint64(len(datagram))
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(datagram), l.cfg.mtu())
+	}
+
+	n.seq++
+	p := &packet{
+		src: h.addr, dst: dst,
+		data: copyToPooled(datagram), size: len(datagram),
+		seq: n.seq, at: h.node,
+	}
+	dels := n.forwardLocked(n.clock.Now(), []*packet{p})
+	n.mu.Unlock()
+	dispatch(dels)
+	return nil
+}
+
+// SendBatch transmits the datagrams to dst in slice order, implementing
+// the engine's BatchTransport contract: sent is the prefix transmitted,
+// a non-nil error describes datagrams[sent], and loss along the path is
+// not an error. Each datagram runs the same per-packet machinery as
+// Send in the same order, so a run's rng draw sequence — the
+// deterministic-replay contract — is identical whether a burst was
+// batched or sent one datagram at a time.
+func (h *Host) SendBatch(dst Addr, datagrams [][]byte) (sent int, err error) {
+	h.inet.mu.Lock()
+	h.inet.stats.BatchSends++
+	h.inet.mu.Unlock()
+	for i, d := range datagrams {
+		if err := h.Send(dst, d); err != nil {
+			h.inet.mu.Lock()
+			h.inet.stats.BatchDatagrams += uint64(i)
+			h.inet.mu.Unlock()
+			return i, err
+		}
+	}
+	h.inet.mu.Lock()
+	h.inet.stats.BatchDatagrams += uint64(len(datagrams))
+	h.inet.mu.Unlock()
+	return len(datagrams), nil
+}
+
+// delivery and the inbox heap mirror netsim's: (arrival, seq) ordering
+// with concurrent deliveries queueing behind the goroutine already
+// draining, so handlers observe arrival order even when timer callbacks
+// race.
+
+type delivery struct {
+	src     Addr
+	data    *[]byte
+	arrival time.Time
+	seq     uint64
+}
+
+func (h *Host) deliver(d delivery) {
+	h.mu.Lock()
+	if h.closed.Load() {
+		h.mu.Unlock()
+		bufPool.Put(d.data)
+		return
+	}
+	h.inbox.push(d)
+	if h.draining {
+		h.mu.Unlock()
+		return
+	}
+	h.draining = true
+	for !h.closed.Load() && len(h.inbox) > 0 {
+		next := h.inbox.pop()
+		fn := h.handler
+		h.mu.Unlock()
+		if fn != nil {
+			fn(next.src, *next.data)
+		}
+		bufPool.Put(next.data)
+		h.mu.Lock()
+	}
+	h.draining = false
+	h.mu.Unlock()
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) less(i, j int) bool {
+	if !h[i].arrival.Equal(h[j].arrival) {
+		return h[i].arrival.Before(h[j].arrival)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *deliveryHeap) push(d delivery) {
+	*h = append(*h, d)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *deliveryHeap) pop() delivery {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = delivery{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"paccel/internal/telemetry"
+)
+
+// NAT middlebox: the address-rewriting, state-expiring box that makes
+// "the peer's address" a lie the protocol stack must survive.
+//
+// The model is a full-cone NAT keyed by inside source address. The
+// first packet an inside host sends toward the outside allocates a
+// mapping inside→(extIP:port); while the mapping lives, outbound
+// packets are source-rewritten to it and inbound packets addressed to
+// it are destination-rewritten back. Only *outbound* traffic refreshes
+// the mapping (RFC 4787's security posture: an outside peer cannot hold
+// a mapping open, so a chatty remote does not save an idle inside
+// host). A mapping idles out after Idle without outbound traffic; the
+// *next* outbound packet
+// then allocates a fresh external port — the rebind. Inbound traffic
+// to an expired (or never-allocated) port is dropped, which is how the
+// remote peer experiences the rebind: its acks suddenly vanish into
+// the box, its retransmissions go unanswered, and only an identified
+// probe from the new mapping can teach it the peer's new address.
+
+// DefaultNATIdle is the mapping idle timeout when AddNAT gets 0 —
+// 30 virtual seconds, the short end of real CGN UDP timeouts.
+const DefaultNATIdle = 30 * time.Second
+
+// NATStats counts one NAT box's behavior.
+type NATStats struct {
+	// Mappings is the number of live (possibly idle-expired but not
+	// yet reaped) mappings.
+	Mappings int
+	// Allocated counts every mapping ever created, first binds
+	// included.
+	Allocated uint64
+	// Rebinds counts mappings re-created on a new external port after
+	// idle expiry.
+	Rebinds uint64
+	// Drops counts inbound packets to an expired or unknown mapping.
+	Drops uint64
+}
+
+type natMapping struct {
+	inside, outside Addr
+	lastUsed        time.Time
+}
+
+type natState struct {
+	name     string
+	extIP    string
+	idle     time.Duration
+	inside   map[string]bool // neighbor node names on the private side
+	nextPort int
+	byInside map[Addr]*natMapping
+	byOut    map[Addr]*natMapping
+	stats    NATStats
+}
+
+// AddNAT adds a NAT box named name owning the external IP extIP.
+// Neighbors listed in inside are its private side: packets arriving
+// from them and leaving toward any other neighbor are source-rewritten;
+// everything else is the outside. idle is the mapping timeout (0 means
+// DefaultNATIdle). Link the box into the topology afterwards; inside
+// hosts appear by their IP (the host node's name).
+func (n *Internet) AddNAT(name, extIP string, idle time.Duration, inside ...string) {
+	if idle <= 0 {
+		idle = DefaultNATIdle
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if owner, ok := n.ipOwner[extIP]; ok {
+		panic(fmt.Sprintf("topo: external IP %q already owned by %q", extIP, owner))
+	}
+	nd := n.addNode(name, kindNAT)
+	st := &natState{
+		name:     name,
+		extIP:    extIP,
+		idle:     idle,
+		inside:   make(map[string]bool, len(inside)),
+		nextPort: 60000,
+		byInside: make(map[Addr]*natMapping),
+		byOut:    make(map[Addr]*natMapping),
+	}
+	for _, in := range inside {
+		st.inside[in] = true
+	}
+	nd.nat = st
+	n.ipOwner[extIP] = name
+	n.recomputeLocked()
+}
+
+// NATStats reports the named box's counters.
+func (n *Internet) NATStats(name string) NATStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd := n.nodes[name]
+	if nd == nil || nd.nat == nil {
+		return NATStats{}
+	}
+	s := nd.nat.stats
+	s.Mappings = len(nd.nat.byInside)
+	return s
+}
+
+// ExternalAddr reports the current external mapping for an inside
+// address, if one is live. Harnesses use it to learn "what the world
+// sees" for a host behind the box.
+func (n *Internet) ExternalAddr(name string, inside Addr) (Addr, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd := n.nodes[name]
+	if nd == nil || nd.nat == nil {
+		return "", false
+	}
+	m := nd.nat.byInside[inside]
+	if m == nil {
+		return "", false
+	}
+	return m.outside, true
+}
+
+func (st *natState) expired(m *natMapping, now time.Time) bool {
+	return now.Sub(m.lastUsed) > st.idle
+}
+
+// translateOut rewrites an inside→outside packet's source to the live
+// mapping, allocating or rebinding first if needed. Called with the
+// internet lock held.
+func (st *natState) translateOut(n *Internet, p *packet, now time.Time) {
+	m := st.byInside[p.src]
+	if m != nil && st.expired(m, now) {
+		// Idle expiry: the old external port is gone for good. The
+		// very next outbound packet rebinds to a fresh one — and the
+		// remote peer now knows this flow by an address that no
+		// longer works.
+		delete(st.byOut, m.outside)
+		delete(st.byInside, m.inside)
+		st.stats.Rebinds++
+		n.stats.NATRebinds++
+		m = nil
+		// Rebinds are never sampled: one event per rebind, always.
+		n.tel.Load().Event(telemetry.EventRebind, 0,
+			fmt.Sprintf("%s: mapping for %s expired, rebinding", st.name, p.src))
+	}
+	if m == nil {
+		m = &natMapping{
+			inside:  p.src,
+			outside: fmt.Sprintf("%s:%d", st.extIP, st.nextPort),
+		}
+		st.nextPort++
+		st.byInside[m.inside] = m
+		st.byOut[m.outside] = m
+		st.stats.Allocated++
+		n.tel.Load().Event(telemetry.EventRebind, 0,
+			fmt.Sprintf("%s: %s mapped to %s", st.name, m.inside, m.outside))
+	}
+	m.lastUsed = now
+	p.src = m.outside
+}
+
+// translateIn rewrites an outside→inside packet's destination back to
+// the inside address. Reports false (and accounts the drop) when the
+// mapping is expired or unknown. Inbound traffic deliberately does not
+// refresh lastUsed — only the inside host keeps its own mapping alive.
+// Called with the internet lock held.
+func (st *natState) translateIn(n *Internet, p *packet, now time.Time) bool {
+	m := st.byOut[p.dst]
+	if m == nil || st.expired(m, now) {
+		st.stats.Drops++
+		n.dropLocked(p, &n.stats.NATDrops, nil)
+		return false
+	}
+	p.dst = m.inside
+	return true
+}

@@ -1,0 +1,200 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"paccel/internal/telemetry"
+	"paccel/internal/vclock"
+)
+
+// natRig: inside host A — NAT n1 (ext 198.51.100.1) — router r1 —
+// outside host B, instant links.
+func natRig(clk vclock.Clock, idle time.Duration) (*Internet, *Host, *Host) {
+	n := New(clk, Config{})
+	n.AddRouter("r1")
+	n.AddNAT("n1", "198.51.100.1", idle, "10.0.0.2")
+	n.Link("n1", "r1", LinkConfig{})
+	a := n.Host("10.0.0.2:1", "n1", LinkConfig{})
+	b := n.Host("10.0.1.2:1", "r1", LinkConfig{})
+	return n, a, b
+}
+
+func TestNATMappingLifecycle(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n, a, b := natRig(clk, 30*time.Second)
+	var capA, capB capture
+	a.SetHandler(capA.handler(clk))
+	b.SetHandler(capB.handler(clk))
+
+	// Outbound allocates a mapping and rewrites the source: B sees the
+	// NAT's external address, not A's.
+	if err := a.Send(b.LocalAddr(), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if capB.count() != 1 {
+		t.Fatal("outbound through NAT not delivered")
+	}
+	ext := capB.srcs[0]
+	if !strings.HasPrefix(ext, "198.51.100.1:") {
+		t.Fatalf("B saw src %q, want the NAT's external addr", ext)
+	}
+	got, ok := n.ExternalAddr("n1", a.LocalAddr())
+	if !ok || got != ext {
+		t.Fatalf("ExternalAddr = %q,%v, want %q", got, ok, ext)
+	}
+
+	// Inbound to the mapping translates back: A receives it, addressed
+	// from B.
+	if err := b.Send(ext, []byte("yo")); err != nil {
+		t.Fatal(err)
+	}
+	if capA.count() != 1 || capA.srcs[0] != b.LocalAddr() {
+		t.Fatalf("inbound: count=%d srcs=%v", capA.count(), capA.srcs)
+	}
+
+	st := n.NATStats("n1")
+	if st.Allocated != 1 || st.Rebinds != 0 || st.Drops != 0 || st.Mappings != 1 {
+		t.Fatalf("NAT stats = %+v", st)
+	}
+}
+
+func TestNATIdleExpiryRebindsAndOldMappingDies(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n, a, b := natRig(clk, 30*time.Second)
+	rec := telemetry.New(telemetry.Options{Clock: clk})
+	n.SetTelemetry(rec)
+	var capA, capB capture
+	a.SetHandler(capA.handler(clk))
+	b.SetHandler(capB.handler(clk))
+
+	if err := a.Send(b.LocalAddr(), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	oldExt := capB.srcs[0]
+
+	// Idle past the timeout: the next outbound packet rebinds to a new
+	// external port.
+	clk.Advance(31 * time.Second)
+	if err := a.Send(b.LocalAddr(), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	newExt := capB.srcs[1]
+	if newExt == oldExt {
+		t.Fatalf("mapping did not rebind after idle expiry: %q", newExt)
+	}
+	st := n.NATStats("n1")
+	if st.Rebinds != 1 || st.Allocated != 2 {
+		t.Fatalf("NAT stats = %+v", st)
+	}
+	if got := n.Stats().NATRebinds; got != 1 {
+		t.Fatalf("internet NATRebinds = %d", got)
+	}
+
+	// The peer still knows the old address: its traffic now dies in
+	// the box — that is how B experiences the rebind.
+	if err := b.Send(oldExt, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if capA.count() != 0 {
+		t.Fatal("packet to the expired mapping was delivered")
+	}
+	if st := n.NATStats("n1"); st.Drops != 1 {
+		t.Fatalf("NAT stats = %+v", st)
+	}
+	// The new mapping works.
+	if err := b.Send(newExt, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if capA.count() != 1 {
+		t.Fatal("packet to the rebound mapping not delivered")
+	}
+
+	// Telemetry: the rebind is an EventRebind, never silent.
+	sawRebind := false
+	for _, e := range rec.Snapshot(false).Events {
+		if e.Kind == telemetry.EventRebind && strings.Contains(e.Cause, "expired, rebinding") {
+			sawRebind = true
+		}
+	}
+	if !sawRebind {
+		t.Fatal("no EventRebind recorded for the expiry")
+	}
+}
+
+func TestNATOnlyOutboundRefreshes(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n, a, b := natRig(clk, 30*time.Second)
+	var capA, capB capture
+	a.SetHandler(capA.handler(clk))
+	b.SetHandler(capB.handler(clk))
+
+	// Outbound keepalives under the idle timeout hold the mapping
+	// steady indefinitely.
+	if err := a.Send(b.LocalAddr(), []byte("open")); err != nil {
+		t.Fatal(err)
+	}
+	ext := capB.srcs[0]
+	for i := 0; i < 4; i++ {
+		clk.Advance(20 * time.Second)
+		if err := a.Send(b.LocalAddr(), []byte("ka")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last := capB.srcs[capB.count()-1]; last != ext {
+		t.Fatalf("mapping rebound despite outbound keepalives: %q -> %q", ext, last)
+	}
+	if st := n.NATStats("n1"); st.Rebinds != 0 {
+		t.Fatalf("NAT stats = %+v", st)
+	}
+
+	// Inbound traffic does not refresh (RFC 4787 posture): a chatty
+	// remote peer cannot keep an idle inside host's mapping alive.
+	clk.Advance(20 * time.Second)
+	if err := b.Send(ext, []byte("ka-in")); err != nil { // delivered, 10s before expiry
+		t.Fatal(err)
+	}
+	if capA.count() != 1 {
+		t.Fatal("live-mapping inbound not delivered")
+	}
+	clk.Advance(15 * time.Second) // 35s since last outbound: expired
+	if err := a.Send(b.LocalAddr(), []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.NATStats("n1"); st.Rebinds != 1 {
+		t.Fatalf("inbound traffic refreshed the mapping: %+v", st)
+	}
+}
+
+func TestNATInboundToUnknownMappingDrops(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n, _, b := natRig(clk, 30*time.Second)
+	if err := b.Send("198.51.100.1:60099", []byte("probe")); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.NATDrops != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNATInsideToInsideDoesNotRewrite(t *testing.T) {
+	clk := vclock.NewManual(t0)
+	n := New(clk, Config{})
+	n.AddRouter("r1")
+	n.AddNAT("n1", "198.51.100.1", time.Minute, "10.0.0.2", "10.0.0.3")
+	n.Link("n1", "r1", LinkConfig{})
+	a := n.Host("10.0.0.2:1", "n1", LinkConfig{})
+	c := n.Host("10.0.0.3:1", "n1", LinkConfig{})
+	var capC capture
+	c.SetHandler(capC.handler(clk))
+	if err := a.Send(c.LocalAddr(), []byte("lan")); err != nil {
+		t.Fatal(err)
+	}
+	if capC.count() != 1 || capC.srcs[0] != a.LocalAddr() {
+		t.Fatalf("inside-to-inside: count=%d srcs=%v", capC.count(), capC.srcs)
+	}
+	if st := n.NATStats("n1"); st.Allocated != 0 {
+		t.Fatalf("LAN traffic allocated a mapping: %+v", st)
+	}
+}

@@ -1,0 +1,307 @@
+package topo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// PCAP export: every frame crossing a tapped edge is written in the
+// legacy libpcap format (magic 0xa1b2c3d4, version 2.4), linktype
+// LINKTYPE_RAW (101) — each record is a raw IPv4 packet carrying UDP,
+// the datagram's payload inside. tcpdump -r and wireshark open the
+// files directly, which is the point: a failed seeded schedule leaves a
+// trace a human can walk hop by hop.
+//
+// Addresses are parsed from their "ip:port" form; a non-IP name (tests
+// use "A"-style addresses) maps to a stable synthetic 10.x.y.z so the
+// capture still distinguishes the actors.
+
+// LinkTypeRaw is the pcap linktype written: raw IP, no link-layer
+// framing.
+const LinkTypeRaw = 101
+
+// DefaultSnapLen is the tap's default capture length.
+const DefaultSnapLen = 65535
+
+const (
+	pcapMagic      = 0xa1b2c3d4
+	pcapVerMajor   = 2
+	pcapVerMinor   = 4
+	fileHeaderLen  = 24
+	frameHeaderLen = 16
+	ipHeaderLen    = 20
+	udpHeaderLen   = 8
+)
+
+// Tap captures both directions of one edge into a pcap stream. Writes
+// happen under the internet lock as packets traverse the edge; Close
+// detaches the tap and reports any latched write error.
+type Tap struct {
+	n      *Internet
+	w      io.Writer
+	snap   int
+	frames uint64
+	err    error
+	closed bool
+}
+
+// Tap installs a capture on the a-b edge, both directions, writing
+// legacy pcap to w. snaplen caps each record's stored bytes (0 means
+// DefaultSnapLen). The file header is written immediately.
+func (n *Internet) Tap(a, b string, w io.Writer, snaplen int) (*Tap, error) {
+	if snaplen <= 0 {
+		snaplen = DefaultSnapLen
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil || na.nbrs[b] == nil || nb.nbrs[a] == nil {
+		return nil, fmt.Errorf("topo: tap %q-%q: no such edge", a, b)
+	}
+	t := &Tap{n: n, w: w, snap: snaplen}
+	var hdr [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapVerMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapVerMinor)
+	// thiszone, sigfigs: 0.
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(snaplen))
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	na.nbrs[b].taps = append(na.nbrs[b].taps, t)
+	nb.nbrs[a].taps = append(nb.nbrs[a].taps, t)
+	return t, nil
+}
+
+// Frames reports how many records the tap has written.
+func (t *Tap) Frames() uint64 {
+	t.n.mu.Lock()
+	defer t.n.mu.Unlock()
+	return t.frames
+}
+
+// Close detaches the tap from its edge and returns the first write
+// error, if any. The underlying writer is the caller's to close.
+func (t *Tap) Close() error {
+	t.n.mu.Lock()
+	defer t.n.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	for _, nd := range t.n.nodes {
+		for _, l := range nd.nbrs {
+			for i, tap := range l.taps {
+				if tap == t {
+					l.taps = append(l.taps[:i], l.taps[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return t.err
+}
+
+// capture writes one record. Called with the internet lock held, at the
+// moment the frame goes onto the tapped wire, so timestamps are
+// monotone in capture order.
+func (t *Tap) capture(now time.Time, p *packet) {
+	if t.err != nil {
+		return
+	}
+	srcIP, srcPort := addrToIPv4(p.src)
+	dstIP, dstPort := addrToIPv4(p.dst)
+
+	origLen := ipHeaderLen + udpHeaderLen + p.size
+	capLen := origLen
+	if capLen > t.snap {
+		capLen = t.snap
+	}
+
+	buf := make([]byte, frameHeaderLen+capLen)
+	usec := now.UnixNano() / 1e3
+	binary.LittleEndian.PutUint32(buf[0:], uint32(usec/1e6))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(usec%1e6))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(capLen))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(origLen))
+
+	pkt := buf[frameHeaderLen:]
+	n := copy(pkt, ipv4UDPHeader(srcIP, dstIP, srcPort, dstPort, p.size, uint16(p.seq)))
+	if n < len(pkt) {
+		copy(pkt[n:], (*p.data)[:len(pkt)-n])
+	}
+
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return
+	}
+	t.frames++
+}
+
+// ipv4UDPHeader builds the 28-byte IPv4+UDP encapsulation. The UDP
+// checksum is 0 ("not computed", legal for IPv4); the IP header
+// checksum is real so strict readers accept the file.
+func ipv4UDPHeader(srcIP, dstIP [4]byte, srcPort, dstPort uint16, payloadLen int, id uint16) []byte {
+	var h [ipHeaderLen + udpHeaderLen]byte
+	total := ipHeaderLen + udpHeaderLen + payloadLen
+	h[0] = 0x45 // v4, 20-byte header
+	binary.BigEndian.PutUint16(h[2:], uint16(total))
+	binary.BigEndian.PutUint16(h[4:], id)
+	h[8] = 64 // TTL
+	h[9] = 17 // UDP
+	copy(h[12:16], srcIP[:])
+	copy(h[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(h[10:], ipChecksum(h[:ipHeaderLen]))
+
+	binary.BigEndian.PutUint16(h[20:], srcPort)
+	binary.BigEndian.PutUint16(h[22:], dstPort)
+	binary.BigEndian.PutUint16(h[24:], uint16(udpHeaderLen+payloadLen))
+	return h[:]
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // the checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// addrToIPv4 resolves an "ip:port" address to wire form. Unparsable
+// hosts hash to a stable 10.x.y.z, unparsable ports to a stable
+// ephemeral port, so opaque test addresses still capture usefully.
+func addrToIPv4(addr Addr) ([4]byte, uint16) {
+	host := ipOf(addr)
+	var port uint16
+	if len(host) < len(addr) {
+		if v, err := strconv.Atoi(addr[len(host)+1:]); err == nil && v >= 0 && v <= 0xffff {
+			port = uint16(v)
+		} else {
+			port = 49152 + uint16(hashOf(addr[len(host)+1:])%16384)
+		}
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		if v4 := ip.To4(); v4 != nil {
+			return [4]byte{v4[0], v4[1], v4[2], v4[3]}, port
+		}
+	}
+	h := hashOf(host)
+	return [4]byte{10, byte(h >> 16), byte(h >> 8), byte(h)}, port
+}
+
+func hashOf(s string) uint32 {
+	f := fnv.New32a()
+	f.Write([]byte(s))
+	return f.Sum32()
+}
+
+// --- minimal reader ---
+//
+// Enough of a pcap parser to round-trip this package's own traces in
+// tests and post-mortems: the legacy format, either byte order,
+// linktype-raw IPv4/UDP decode.
+
+// Frame is one parsed capture record.
+type Frame struct {
+	// Time is the capture timestamp (microsecond resolution).
+	Time time.Time
+	// OrigLen is the frame's length on the wire; len(Data) is the
+	// captured (possibly snapped) prefix.
+	OrigLen int
+	// Data is the raw record: IPv4 header, UDP header, payload.
+	Data []byte
+}
+
+// TraceFile is a parsed capture.
+type TraceFile struct {
+	SnapLen  int
+	LinkType uint32
+	Frames   []Frame
+}
+
+// ErrNotPCAP reports a stream that does not start with the legacy
+// magic.
+var ErrNotPCAP = errors.New("topo: not a legacy pcap stream")
+
+// ReadPCAP parses a legacy pcap stream (either byte order).
+func ReadPCAP(r io.Reader) (*TraceFile, error) {
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("topo: pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case pcapMagic:
+		order = binary.LittleEndian
+	default:
+		if binary.BigEndian.Uint32(hdr[0:]) != pcapMagic {
+			return nil, ErrNotPCAP
+		}
+		order = binary.BigEndian
+	}
+	if major := order.Uint16(hdr[4:]); major != pcapVerMajor {
+		return nil, fmt.Errorf("topo: pcap version %d unsupported", major)
+	}
+	tf := &TraceFile{
+		SnapLen:  int(order.Uint32(hdr[16:])),
+		LinkType: order.Uint32(hdr[20:]),
+	}
+	for {
+		var rh [frameHeaderLen]byte
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			if err == io.EOF {
+				return tf, nil
+			}
+			return nil, fmt.Errorf("topo: pcap record header: %w", err)
+		}
+		capLen := int(order.Uint32(rh[8:]))
+		if capLen > tf.SnapLen {
+			return nil, fmt.Errorf("topo: record capLen %d exceeds snaplen %d", capLen, tf.SnapLen)
+		}
+		data := make([]byte, capLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("topo: pcap record body: %w", err)
+		}
+		sec := int64(order.Uint32(rh[0:]))
+		usec := int64(order.Uint32(rh[4:]))
+		tf.Frames = append(tf.Frames, Frame{
+			Time:    time.Unix(sec, usec*1e3).UTC(),
+			OrigLen: int(order.Uint32(rh[12:])),
+			Data:    data,
+		})
+	}
+}
+
+// UDP decodes the frame's IPv4/UDP encapsulation: the source and
+// destination as "ip:port" strings and the captured payload bytes
+// (possibly truncated by the snap length).
+func (f Frame) UDP() (src, dst Addr, payload []byte, err error) {
+	d := f.Data
+	if len(d) < ipHeaderLen+udpHeaderLen {
+		return "", "", nil, fmt.Errorf("topo: frame too short (%d bytes)", len(d))
+	}
+	if d[0]>>4 != 4 || d[0]&0xf != 5 {
+		return "", "", nil, fmt.Errorf("topo: not a plain IPv4 header (%#x)", d[0])
+	}
+	if d[9] != 17 {
+		return "", "", nil, fmt.Errorf("topo: not UDP (proto %d)", d[9])
+	}
+	sp := binary.BigEndian.Uint16(d[20:])
+	dp := binary.BigEndian.Uint16(d[22:])
+	src = fmt.Sprintf("%d.%d.%d.%d:%d", d[12], d[13], d[14], d[15], sp)
+	dst = fmt.Sprintf("%d.%d.%d.%d:%d", d[16], d[17], d[18], d[19], dp)
+	return src, dst, d[ipHeaderLen+udpHeaderLen:], nil
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Named gauges: the fixed Gauge enum covers the engine's own load
+// readings, but simulation components exist in variable numbers — a
+// topology has as many routers as the scenario built, each with its own
+// queue depth and drop count. A NamedGauge is a last-value-wins reading
+// registered under a caller-chosen name ("r1/queue_depth").
+//
+// The handle is resolved once, at component construction, so the update
+// sites never touch the registry map: a Set or Add is one atomic
+// operation, cheap enough for a per-packet accounting site, though
+// callers should still prefer updating where state changes (enqueue,
+// drop) rather than polling. Both the Recorder method and the handle
+// methods are nil-safe, matching the rest of the package: with telemetry
+// disabled the resolved handle is nil and every update is one branch.
+
+// NamedGauge is one registered gauge. The zero value is usable; a nil
+// *NamedGauge no-ops.
+type NamedGauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value. Nil-safe, lock-free, allocation-free.
+func (g *NamedGauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the current value by delta (queue occupancy counts up on
+// enqueue and down on departure). Nil-safe, lock-free, allocation-free.
+func (g *NamedGauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the current value. Nil-safe.
+func (g *NamedGauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// namedGauges is the registry: a mutex-protected map resolved at
+// component construction time, never on update paths.
+type namedGauges struct {
+	mu sync.Mutex
+	m  map[string]*NamedGauge
+}
+
+// NamedGauge resolves (registering on first use) the gauge with the
+// given name. Resolving the same name twice returns the same handle, so
+// a rebuilt component keeps appending to the same reading. Nil-safe: a
+// nil Recorder returns a nil handle whose methods no-op.
+func (r *Recorder) NamedGauge(name string) *NamedGauge {
+	if r == nil {
+		return nil
+	}
+	r.named.mu.Lock()
+	defer r.named.mu.Unlock()
+	if r.named.m == nil {
+		r.named.m = make(map[string]*NamedGauge)
+	}
+	g, ok := r.named.m[name]
+	if !ok {
+		g = &NamedGauge{}
+		r.named.m[name] = g
+	}
+	return g
+}
+
+// namedValues snapshots the registry as name → value.
+func (r *Recorder) namedValues() map[string]int64 {
+	r.named.mu.Lock()
+	defer r.named.mu.Unlock()
+	if len(r.named.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.named.m))
+	for name, g := range r.named.m {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// NamedGaugeNames lists the registered names, sorted (reports iterate
+// deterministically). Nil-safe.
+func (r *Recorder) NamedGaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.named.mu.Lock()
+	defer r.named.mu.Unlock()
+	names := make([]string, 0, len(r.named.m))
+	for name := range r.named.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -34,9 +34,15 @@ const (
 	// (rate-limited — the first and every 1024th), a storm detector
 	// transition, or an idle eviction made for admission.
 	EventShed
+	// EventRebind is a middlebox address rewrite coming into existence
+	// or changing: a NAT mapping allocated, expired, or re-allocated on
+	// a new external address mid-session. Rebinds are rare and
+	// diagnostic gold (they explain why a peer suddenly went silent),
+	// so they are never sampled.
+	EventRebind
 )
 
-var eventKindNames = [...]string{"state", "fault", "migration", "resume", "shed"}
+var eventKindNames = [...]string{"state", "fault", "migration", "resume", "shed", "rebind"}
 
 // String names the kind.
 func (k EventKind) String() string {

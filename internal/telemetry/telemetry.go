@@ -99,6 +99,7 @@ type Recorder struct {
 	hists  [NumShards][NumOps]histShard
 	ring   eventRing
 	gauges gaugeSet
+	named  namedGauges
 }
 
 // New creates a Recorder.
@@ -143,7 +144,10 @@ type Snapshot struct {
 	// every event ever appended, including overwritten ones.
 	Events      []Event `json:"events"`
 	EventsTotal uint64  `json:"events_total"`
-	// Gauges are the instantaneous load readings by gauge name.
+	// Gauges are the instantaneous load readings by gauge name: the
+	// engine's fixed gauge set plus any registered named gauges
+	// (per-router queue depths and drop counts from the topology
+	// simulator).
 	Gauges map[string]int64 `json:"gauges,omitempty"`
 }
 
@@ -167,6 +171,9 @@ func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
 	s.Gauges = make(map[string]int64, NumGauges)
 	for g := Gauge(0); g < NumGauges; g++ {
 		s.Gauges[g.String()] = r.gauges[g].Load()
+	}
+	for name, v := range r.namedValues() {
+		s.Gauges[name] = v
 	}
 	return s
 }

@@ -394,3 +394,88 @@ func TestServeNilRecorder(t *testing.T) {
 		t.Fatalf("nil recorder snapshot = %+v", snap)
 	}
 }
+
+// --- named gauges and the rebind event kind ---
+
+func TestNamedGauges(t *testing.T) {
+	r := New(Options{})
+	depth := r.NamedGauge("r1/queue_depth")
+	drops := r.NamedGauge("r1/queue_drops")
+	depth.Add(3)
+	depth.Add(-1)
+	drops.Set(7)
+	if got := depth.Value(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	// Resolving the same name returns the same handle.
+	if r.NamedGauge("r1/queue_drops").Value() != 7 {
+		t.Fatal("re-resolved handle lost the value")
+	}
+	snap := r.Snapshot(false)
+	if snap.Gauges["r1/queue_depth"] != 2 || snap.Gauges["r1/queue_drops"] != 7 {
+		t.Fatalf("snapshot gauges = %+v", snap.Gauges)
+	}
+	// The fixed engine gauges still appear alongside.
+	if _, ok := snap.Gauges[GaugeConns.String()]; !ok {
+		t.Fatalf("fixed gauges missing from %+v", snap.Gauges)
+	}
+	names := r.NamedGaugeNames()
+	if len(names) != 2 || names[0] != "r1/queue_depth" || names[1] != "r1/queue_drops" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestNamedGaugeNilSafe(t *testing.T) {
+	var r *Recorder
+	g := r.NamedGauge("x")
+	if g != nil {
+		t.Fatal("nil recorder must resolve a nil handle")
+	}
+	g.Set(1) // must not panic
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil handle must read 0")
+	}
+	if r.NamedGaugeNames() != nil {
+		t.Fatal("nil recorder must list no names")
+	}
+}
+
+func TestNamedGaugeConcurrent(t *testing.T) {
+	r := New(Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := r.NamedGauge(fmt.Sprintf("r%d/queue_depth", i%2))
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := r.Snapshot(false)
+	if snap.Gauges["r0/queue_depth"] != 0 || snap.Gauges["r1/queue_depth"] != 0 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+}
+
+func TestEventRebindRoundTrip(t *testing.T) {
+	if EventRebind.String() != "rebind" {
+		t.Fatalf("EventRebind = %q", EventRebind)
+	}
+	e := Event{Seq: 9, Time: time.Unix(0, 12345), Conn: 4, Kind: EventRebind, Cause: "nat: mapping rebound"}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != EventRebind || back.Cause != e.Cause || back.Seq != 9 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
