@@ -265,6 +265,84 @@ func BenchmarkGroupTotalOrder(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupFanout measures one whole-group multicast through the
+// template+stamp fanout engine (DESIGN.md §16): mesh-wired groups hand
+// whole-group sends to core.Fanout — one header build and filter pass,
+// one stamp per member, one batched transmit.
+func BenchmarkGroupFanout(b *testing.B) {
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
+	m, err := group.NewRealMesh(names, netsim.Config{}, group.FIFO, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := m.Groups["m0"].Send(payload)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, core.ErrBacklogFull) {
+				time.Sleep(5 * time.Microsecond) // window backpressure
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupFanoutAllocs is the engine's zero-allocation gate at the
+// perf-gate tier: a 64-member fanout over the lean stateless stack must
+// stay at 0 allocs/op steady-state (the same invariant TestAllocBudget
+// enforces at 16 members).
+func BenchmarkGroupFanoutAllocs(b *testing.B) {
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	sink := net.Endpoint("sink")
+	sink.SetHandler(func(string, []byte) {})
+	ep, err := core.NewEndpoint(core.Config{
+		Transport: net.Endpoint("fan"), Build: experiments.LeanStack,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	conns := make([]*core.Conn, 64)
+	for i := range conns {
+		conns[i], err = ep.Dial(core.PeerSpec{
+			Addr:    "sink",
+			LocalID: []byte("fan"), RemoteID: []byte(fmt.Sprintf("m%02d", i)),
+			LocalPort: uint16(i + 1), RemotePort: uint16(i + 1),
+			Epoch: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fan, err := core.NewFanout(ep, conns...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 32)
+	for i := 0; i < 256; i++ { // warm pools, prime prediction
+		if err := fan.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fan.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServerLoadSim runs the §6 Maximum Load analysis.
 func BenchmarkServerLoadSim(b *testing.B) {
 	cm := evsim.PaperCosts()

@@ -68,9 +68,19 @@
 // instrumented fast path's alloc counts and the histograms the enabled
 // run recorded; -json writes its baseline (BENCH_5.json).
 //
+// The fanout experiment measures shared pre-processing group multicast:
+// one whole-group send through the template+stamp engine (build the
+// datagram and run the send filter once, stamp each member's predicted
+// headers, transmit as one scattered-destination batch) versus one full
+// per-member Send each, across group sizes up to 4096. It reports the
+// msgs/s × members curve, steady-state allocs/op, and **tx
+// syscalls/message** over real loopback sockets — per-member sends pay
+// one syscall per member, the batch pays one per 64; -json writes its
+// machine-readable baseline (BENCH_9.json).
+//
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|telemetry|churn|topo] [-quick] [-sim-only] [-json file] [-seed n]
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|fanout|telemetry|churn|topo] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -84,11 +94,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, telemetry, churn, topo")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, fanout, telemetry, churn, topo")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, telemetry, churn, or topo: also write the machine-readable baseline to this file")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, fanout, telemetry, churn, or topo: also write the machine-readable baseline to this file")
 	seed := flag.Int64("seed", 0, "with -exp faults, recovery, churn, or topo: schedule seed (0 = fixed default)")
 	flag.Parse()
 
@@ -184,6 +194,14 @@ func main() {
 			gso(*quick, *jsonPath)
 		}
 	}
+	if run("fanout") {
+		any = true
+		if *simOnly {
+			fmt.Println("fanout: skipped (real-hardware measurement only)")
+		} else {
+			fanout(*quick, *jsonPath)
+		}
+	}
 	if run("telemetry") {
 		any = true
 		if *simOnly {
@@ -272,6 +290,17 @@ func gso(quick bool, jsonPath string) {
 	fmt.Println(experiments.GSOReport(res))
 	if jsonPath != "" {
 		out, err := experiments.GSOJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
+	}
+}
+
+func fanout(quick bool, jsonPath string) {
+	res, err := experiments.Fanout(quick)
+	fail(err)
+	fmt.Println(experiments.FanoutReport(res))
+	if jsonPath != "" {
+		out, err := experiments.FanoutJSON(res)
 		fail(err)
 		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}

@@ -73,6 +73,7 @@ func TestAllocBudget(t *testing.T) {
 			t.Run("send-unbatched", func(t *testing.T) { allocSend(t, tc.rec, true) })
 			t.Run("deliver", func(t *testing.T) { allocDeliver(t, tc.rec) })
 			t.Run("shed", func(t *testing.T) { allocShed(t, tc.rec) })
+			t.Run("fanout", func(t *testing.T) { allocFanout(t, tc.rec) })
 		})
 	}
 }
@@ -188,6 +189,59 @@ func allocDeliver(t *testing.T, rec *telemetry.Recorder) {
 	allocs := testing.AllocsPerRun(500, func() { server.onRecv("C", frame) })
 	if allocs != 0 {
 		t.Fatalf("deliver fast path: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// allocFanout asserts the steady-state group fanout is allocation-free:
+// one template build and filter pass, 16 member stamps, one batched
+// transmit through SendBatchTo, and the members' synchronous deliveries
+// on the far side — all inside the measured budget.
+func allocFanout(t *testing.T, rec *telemetry.Recorder) {
+	t.Helper()
+	net := netsim.New(vclock.Real{}, netsim.Config{})
+	sink := net.Endpoint("sink")
+	sink.SetHandler(func(string, []byte) {})
+	ep, err := NewEndpoint(Config{
+		Transport: net.Endpoint("A"), Build: leanBuild,
+		Telemetry: rec, TelemetrySampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	conns := make([]*Conn, 16)
+	for i := range conns {
+		conns[i], err = ep.Dial(PeerSpec{
+			Addr:    "sink",
+			LocalID: []byte("A"), RemoteID: []byte{byte(i)},
+			LocalPort: uint16(i + 1), RemotePort: uint16(i + 1),
+			Epoch: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fan, err := NewFanout(ep, conns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 32)
+	for i := 0; i < 256; i++ { // warm pools, prime prediction
+		if err := fan.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sendErr error
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := fan.Send(payload); err != nil {
+			sendErr = err
+		}
+	})
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("fanout fast path: %.2f allocs/op, want 0", allocs)
 	}
 }
 

@@ -65,6 +65,11 @@ type Endpoint struct {
 	// a time and the flush paths must loop.
 	batch BatchTransport
 
+	// batchTo is the transport's scattered-destination send interface
+	// (one sendmmsg with per-header sockaddrs), asserted once at
+	// construction; nil when fanout bursts must loop per destination.
+	batchTo BatchToTransport
+
 	// mq is the transport's multi-queue receive interface (SO_REUSEPORT
 	// sharding), asserted once at construction; nil for single-queue
 	// transports.
@@ -281,6 +286,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		tel:        cfg.Telemetry,
 	}
 	ep.batch, _ = cfg.Transport.(BatchTransport)
+	ep.batchTo, _ = cfg.Transport.(BatchToTransport)
 	ep.mq, _ = cfg.Transport.(MultiQueueTransport)
 	ep.coalescer, _ = cfg.Transport.(Coalescer)
 	ep.maxConns = cfg.maxConns()

@@ -51,6 +51,27 @@ type BatchTransport interface {
 	SendBatch(dst string, datagrams [][]byte) (sent int, err error)
 }
 
+// BatchToTransport is optionally implemented by transports that can
+// transmit a burst of datagrams with per-datagram destinations in one
+// call — the group-fanout shape, where every datagram of the burst goes
+// to a different member. On the Linux UDP transport one sendmmsg call
+// carries the whole burst (each header with its own sockaddr); netsim
+// and the topology deliver the burst in order. The fanout engine detects
+// it once at endpoint construction, like BatchTransport.
+//
+// Contract: dsts and datagrams are parallel slices of equal length;
+// datagrams are transmitted in slice order, and sent is how many of
+// them were — always a prefix. A non-nil err describes a failure of the
+// datagram at index sent (its destination is dsts[sent]); the datagrams
+// after it were not attempted, and err == nil implies
+// sent == len(datagrams). Loss on an unreliable link is not an error.
+// Buffer ownership matches Send — every datagram is the caller's again
+// once SendBatchTo returns.
+type BatchToTransport interface {
+	Transport
+	SendBatchTo(dsts []string, datagrams [][]byte) (sent int, err error)
+}
+
 // RecvBatcher is optionally implemented by transports whose receive path
 // is vectorized (Linux recvmmsg): RecvBatchStats reports how many batched
 // reads have completed and how many datagrams they carried.

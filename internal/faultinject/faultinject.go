@@ -20,6 +20,7 @@ package faultinject
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -582,6 +583,23 @@ func (t *Transport) SendBatch(dst string, datagrams [][]byte) (sent int, err err
 	for i, d := range out {
 		if err := inner.Send(dst, d); err != nil {
 			return src[i], err
+		}
+	}
+	return len(datagrams), nil
+}
+
+// SendBatchTo implements the engine's BatchToTransport contract
+// (scattered-destination bursts, group fanout) over the fault plan. Each
+// datagram takes one Send — the rule matching, sequence counting, and
+// rng draw order are exactly a loop of Sends, so fault plans replay
+// identically whether a fanout was batched or not.
+func (t *Transport) SendBatchTo(dsts []string, datagrams [][]byte) (sent int, err error) {
+	if len(dsts) != len(datagrams) {
+		return 0, fmt.Errorf("faultinject: SendBatchTo: %d dsts for %d datagrams", len(dsts), len(datagrams))
+	}
+	for i, d := range datagrams {
+		if err := t.Send(dsts[i], d); err != nil {
+			return i, err
 		}
 	}
 	return len(datagrams), nil

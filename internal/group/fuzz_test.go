@@ -1,11 +1,36 @@
 package group
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+// stampedSeeds are frames shaped exactly like the ones the fanout engine
+// transmits: built by the pooled appendFrame path the template build
+// uses, covering every kind the stamping pass can emit — direct fan-out
+// data, data on its way to the sequencer, and sequenced broadcasts
+// (application and view control) — plus the encoder's edge cases (empty
+// payload, an origin at the 255-byte truncation bound).
+func stampedSeeds() [][]byte {
+	fb := getFrame(kindFIFO, ctlApp, "alice", 0, []byte("template-stamped"))
+	pooled := append([]byte(nil), fb.b...)
+	putFrame(fb)
+	return [][]byte{
+		pooled,
+		encodeFrame(kindToSeq, ctlApp, "bob", 0, []byte("to-sequencer")),
+		encodeFrame(kindSequenced, ctlApp, "alice", 42, []byte("ordered")),
+		encodeFrame(kindSequenced, ctlApp, "seq", 0, nil),
+		encodeFrame(kindFIFO, ctlApp, strings.Repeat("o", 255), 0, []byte("long-origin")),
+	}
+}
 
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(encodeFrame(kindFIFO, ctlApp, "alice", 0, []byte("x")))
 	f.Add(encodeFrame(kindSequenced, ctlView, "seq", 7, encodeView(View{ID: 1, Members: []string{"a"}})))
+	for _, s := range stampedSeeds() {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kind, ctl, origin, seq, payload, err := decodeFrame(data)
 		if err != nil {
@@ -50,6 +75,10 @@ func FuzzGroupOnWire(f *testing.F) {
 	f.Add([]byte{}, false)
 	f.Add(encodeFrame(kindSequenced, ctlApp, "x", 0, []byte("y")), true)
 	f.Add(encodeFrame(kindFIFO, ctlApp, "x", 0, []byte("y")), false)
+	for _, s := range stampedSeeds() {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
 	f.Fuzz(func(t *testing.T, data []byte, fromSequencer bool) {
 		g := New("me", Total, "seq")
 		delivered := 0

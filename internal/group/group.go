@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -43,6 +44,15 @@ type Conn interface {
 	OnDeliver(fn func(payload []byte))
 }
 
+// FanoutSender multicasts one payload to every group member in a single
+// operation; *core.Fanout satisfies it. When installed via UseFanout,
+// the group hands whole-group fanouts to it — one template build, one
+// stamp per member, one batched transmit — instead of running the full
+// point-to-point send pipeline once per member.
+type FanoutSender interface {
+	Send(payload []byte) error
+}
+
 // ErrNoSequencer is returned by Send in Total order when the sequencer is
 // neither the local member nor joined.
 var ErrNoSequencer = errors.New("group: sequencer not reachable")
@@ -61,6 +71,14 @@ const (
 	ctlView = 1
 )
 
+// memberEntry is one joined peer; the group keeps entries sorted by
+// name so every fanout iterates the membership in the same order on
+// every member and every run.
+type memberEntry struct {
+	name string
+	conn Conn
+}
+
 // Group is one member's view of a process group.
 type Group struct {
 	self      string
@@ -68,8 +86,14 @@ type Group struct {
 	sequencer string
 
 	mu      sync.Mutex
-	members map[string]Conn
+	members []memberEntry // sorted by name
+	fan     FanoutSender  // optional whole-group batch path
 	deliver func(origin string, payload []byte)
+
+	// interned maps origin names to their canonical string, so decoding
+	// a received frame does not allocate a fresh origin per delivery.
+	// Seeded from the member table; bounded against hostile frames.
+	interned map[string]string
 
 	nextSeq  uint32 // sequencer only: next global sequence number
 	lastSeen uint32 // diagnostic: last sequenced number delivered
@@ -85,20 +109,29 @@ type Stats struct {
 	Sent, Delivered   uint64
 	Sequenced         uint64 // messages this member ordered (sequencer only)
 	Forwarded         uint64 // messages sent to the sequencer
-	FanoutUnicast     uint64 // point-to-point sends performed
+	FanoutUnicast     uint64 // point-to-point sends covered (batched or not)
+	FanoutBatches     uint64 // whole-group fanouts handed to the batch engine
 	DeliveredInOrder  uint64
 	DeliveredFIFOOnly uint64
 }
 
+// maxInterned bounds the origin intern table; names past the bound are
+// still delivered, just without interning (a correct group's origins all
+// come from the member table anyway).
+const maxInterned = 1024
+
 // New creates this member's group view. For Total order, sequencer names
 // the ordering member (which may be self).
 func New(self string, order Order, sequencer string) *Group {
-	return &Group{
+	g := &Group{
 		self:      self,
 		order:     order,
 		sequencer: sequencer,
-		members:   make(map[string]Conn),
+		interned:  make(map[string]string),
 	}
+	g.interned[self] = self
+	g.interned[sequencer] = sequencer
+	return g
 }
 
 // Self returns this member's name.
@@ -116,18 +149,46 @@ func (g *Group) OnDeliver(fn func(origin string, payload []byte)) {
 // consuming its deliveries. Join every peer before sending.
 func (g *Group) Join(peer string, conn Conn) {
 	g.mu.Lock()
-	g.members[peer] = conn
+	i := sort.Search(len(g.members), func(i int) bool { return g.members[i].name >= peer })
+	if i < len(g.members) && g.members[i].name == peer {
+		g.members[i].conn = conn
+	} else {
+		g.members = append(g.members, memberEntry{})
+		copy(g.members[i+1:], g.members[i:])
+		g.members[i] = memberEntry{name: peer, conn: conn}
+	}
+	g.interned[peer] = peer
 	g.mu.Unlock()
 	conn.OnDeliver(func(p []byte) { g.onWire(peer, p) })
 }
 
-// Members returns the joined peer names.
+// Leave detaches peer (member churn). The connection itself is not
+// closed; its deliveries are simply no longer part of this group.
+func (g *Group) Leave(peer string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i := sort.Search(len(g.members), func(i int) bool { return g.members[i].name >= peer })
+	if i < len(g.members) && g.members[i].name == peer {
+		g.members = append(g.members[:i], g.members[i+1:]...)
+	}
+}
+
+// UseFanout installs the whole-group batch sender (core.Fanout over this
+// member's connections). The caller keeps the sender's member set in
+// step with Join and Leave; a nil sender restores per-member sends.
+func (g *Group) UseFanout(fs FanoutSender) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fan = fs
+}
+
+// Members returns the joined peer names, sorted.
 func (g *Group) Members() []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	names := make([]string, 0, len(g.members))
-	for n := range g.members {
-		names = append(names, n)
+	for _, m := range g.members {
+		names = append(names, m.name)
 	}
 	return names
 }
@@ -163,8 +224,10 @@ func (g *Group) Send(payload []byte) error {
 
 // sendFIFO fans out directly and delivers locally.
 func (g *Group) sendFIFO(payload []byte) error {
-	frame := encodeFrame(kindFIFO, ctlApp, g.self, 0, payload)
-	if err := g.fanout(frame, ""); err != nil {
+	frame := getFrame(kindFIFO, ctlApp, g.self, 0, payload)
+	err := g.fanout(frame.b, "")
+	putFrame(frame)
+	if err != nil {
 		return err
 	}
 	g.deliverUp(g.self, payload, false)
@@ -183,13 +246,16 @@ func (g *Group) sendTotalCtl(ctl byte, payload []byte) error {
 		return nil
 	}
 	g.mu.Lock()
-	seqConn := g.members[g.sequencer]
+	seqConn := g.lookupLocked(g.sequencer)
 	g.stats.Forwarded++
 	g.mu.Unlock()
 	if seqConn == nil {
 		return ErrNoSequencer
 	}
-	return seqConn.Send(encodeFrame(kindToSeq, ctl, g.self, 0, payload))
+	frame := getFrame(kindToSeq, ctl, g.self, 0, payload)
+	err := seqConn.Send(frame.b)
+	putFrame(frame)
+	return err
 }
 
 // sequenceAndBroadcast assigns the next global number and fans the
@@ -201,37 +267,87 @@ func (g *Group) sequenceAndBroadcast(ctl byte, origin string, payload []byte) {
 	g.nextSeq++
 	g.stats.Sequenced++
 	g.mu.Unlock()
-	frame := encodeFrame(kindSequenced, ctl, origin, seq, payload)
-	_ = g.fanout(frame, "")
+	frame := getFrame(kindSequenced, ctl, origin, seq, payload)
+	_ = g.fanout(frame.b, "")
+	putFrame(frame)
 	g.deliverSequenced(ctl, origin, seq, payload) // sequencer's own delivery
 }
 
-// fanout unicasts frame to every member except skip.
+// lookupLocked finds a member's connection. Caller holds g.mu.
+func (g *Group) lookupLocked(name string) Conn {
+	i := sort.Search(len(g.members), func(i int) bool { return g.members[i].name >= name })
+	if i < len(g.members) && g.members[i].name == name {
+		return g.members[i].conn
+	}
+	return nil
+}
+
+// fanSnap is a pooled membership snapshot, so concurrent fanouts each
+// iterate a stable, deterministic (sorted) member list without holding
+// g.mu across sends — a member's delivery callback may re-enter the
+// group — and without allocating the snapshot per send.
+type fanSnap struct {
+	names []string
+	conns []Conn
+}
+
+var snapPool = sync.Pool{New: func() any { return new(fanSnap) }}
+
+// fanout multicasts frame to every member except skip, in sorted member
+// order, collecting every per-member failure (a partial fanout reports
+// all of its losers, not just the first). A whole-group fanout (skip
+// empty) is handed to the batch engine when one is installed.
 func (g *Group) fanout(frame []byte, skip string) error {
 	g.mu.Lock()
-	conns := make(map[string]Conn, len(g.members))
-	for n, c := range g.members {
-		if n != skip {
-			conns[n] = c
+	if fs := g.fan; fs != nil && skip == "" {
+		g.stats.FanoutUnicast += uint64(len(g.members))
+		g.stats.FanoutBatches++
+		g.mu.Unlock()
+		return fs.Send(frame)
+	}
+	s := snapPool.Get().(*fanSnap)
+	s.names, s.conns = s.names[:0], s.conns[:0]
+	for _, m := range g.members {
+		if m.name != skip {
+			s.names = append(s.names, m.name)
+			s.conns = append(s.conns, m.conn)
 		}
 	}
-	g.stats.FanoutUnicast += uint64(len(conns))
+	g.stats.FanoutUnicast += uint64(len(s.conns))
 	g.mu.Unlock()
-	var firstErr error
-	for _, c := range conns {
-		if err := c.Send(frame); err != nil && firstErr == nil {
-			firstErr = err
+	var errs []error
+	for i, c := range s.conns {
+		if err := c.Send(frame); err != nil {
+			errs = append(errs, fmt.Errorf("group: fanout to %s: %w", s.names[i], err))
 		}
 	}
-	return firstErr
+	snapPool.Put(s)
+	return errors.Join(errs...)
+}
+
+// internOrigin resolves decoded origin bytes to a canonical string,
+// allocating only the first time a name is seen (never for members).
+func (g *Group) internOrigin(b []byte) string {
+	g.mu.Lock()
+	if s, ok := g.interned[string(b)]; ok { // no-alloc map probe
+		g.mu.Unlock()
+		return s
+	}
+	s := string(b)
+	if len(g.interned) < maxInterned {
+		g.interned[s] = s
+	}
+	g.mu.Unlock()
+	return s
 }
 
 // onWire handles a frame arriving from peer.
 func (g *Group) onWire(peer string, frame []byte) {
-	kind, ctl, origin, seq, payload, err := decodeFrame(frame)
+	kind, ctl, rawOrigin, seq, payload, err := decodeFrameBytes(frame)
 	if err != nil {
 		return // malformed frames are dropped, like the PA router
 	}
+	origin := g.internOrigin(rawOrigin)
 	switch kind {
 	case kindFIFO:
 		// Direct fan-out frames are only meaningful in FIFO order; in
@@ -282,14 +398,13 @@ func (g *Group) deliverUp(origin string, payload []byte, ordered bool) {
 // Frame layout: kind(1) | ctl(1) | originLen(1) | origin | gseq(4,
 // kindSequenced only) | payload.
 func encodeFrame(kind, ctl byte, origin string, seq uint32, payload []byte) []byte {
+	return appendFrame(nil, kind, ctl, origin, seq, payload)
+}
+
+func appendFrame(f []byte, kind, ctl byte, origin string, seq uint32, payload []byte) []byte {
 	if len(origin) > 255 {
 		origin = origin[:255]
 	}
-	n := 3 + len(origin) + len(payload)
-	if kind == kindSequenced {
-		n += 4
-	}
-	f := make([]byte, 0, n)
 	f = append(f, kind, ctl, byte(len(origin)))
 	f = append(f, origin...)
 	if kind == kindSequenced {
@@ -300,27 +415,55 @@ func encodeFrame(kind, ctl byte, origin string, seq uint32, payload []byte) []by
 	return append(f, payload...)
 }
 
+// framePool recycles outgoing frame buffers. Every send surface below a
+// frame (core.Conn.Send, core.Fanout.Send, netsim) copies the datagram
+// before returning, so a frame can go back to the pool as soon as the
+// send call does.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 256)} }}
+
+func getFrame(kind, ctl byte, origin string, seq uint32, payload []byte) *frameBuf {
+	fb := framePool.Get().(*frameBuf)
+	fb.b = appendFrame(fb.b[:0], kind, ctl, origin, seq, payload)
+	return fb
+}
+
+func putFrame(fb *frameBuf) {
+	framePool.Put(fb)
+}
+
+// decodeFrame is decodeFrameBytes with the origin copied out to a
+// string, for callers that keep it.
 func decodeFrame(f []byte) (kind, ctl byte, origin string, seq uint32, payload []byte, err error) {
+	kind, ctl, rawOrigin, seq, payload, err := decodeFrameBytes(f)
+	return kind, ctl, string(rawOrigin), seq, payload, err
+}
+
+// decodeFrameBytes parses a group frame. origin and payload alias f —
+// the receive path interns origin against the member table instead of
+// allocating a string per delivery.
+func decodeFrameBytes(f []byte) (kind, ctl byte, origin []byte, seq uint32, payload []byte, err error) {
 	if len(f) < 3 {
-		return 0, 0, "", 0, nil, fmt.Errorf("group: short frame")
+		return 0, 0, nil, 0, nil, fmt.Errorf("group: short frame")
 	}
 	kind, ctl = f[0], f[1]
 	if kind > kindSequenced {
-		return 0, 0, "", 0, nil, fmt.Errorf("group: unknown kind %d", kind)
+		return 0, 0, nil, 0, nil, fmt.Errorf("group: unknown kind %d", kind)
 	}
 	if ctl > ctlView {
-		return 0, 0, "", 0, nil, fmt.Errorf("group: unknown control class %d", ctl)
+		return 0, 0, nil, 0, nil, fmt.Errorf("group: unknown control class %d", ctl)
 	}
 	ol := int(f[2])
 	rest := f[3:]
 	if len(rest) < ol {
-		return 0, 0, "", 0, nil, fmt.Errorf("group: truncated origin")
+		return 0, 0, nil, 0, nil, fmt.Errorf("group: truncated origin")
 	}
-	origin = string(rest[:ol])
+	origin = rest[:ol]
 	rest = rest[ol:]
 	if kind == kindSequenced {
 		if len(rest) < 4 {
-			return 0, 0, "", 0, nil, fmt.Errorf("group: truncated sequence")
+			return 0, 0, nil, 0, nil, fmt.Errorf("group: truncated sequence")
 		}
 		seq = binary.BigEndian.Uint32(rest)
 		rest = rest[4:]

@@ -62,6 +62,7 @@ func NewMeshBuild(names []string, clk vclock.Clock, netCfg netsim.Config, order 
 		idx[n] = uint16(i + 1)
 	}
 	for _, a := range names {
+		conns := make([]*core.Conn, 0, len(names)-1)
 		for _, b := range names {
 			if a == b {
 				continue
@@ -77,7 +78,16 @@ func NewMeshBuild(names []string, clk vclock.Clock, netCfg netsim.Config, order 
 				return nil, err
 			}
 			m.Groups[a].Join(b, conn)
+			conns = append(conns, conn)
 		}
+		// Whole-group sends ride the template+stamp fanout engine: one
+		// pre-processing pass and one batched transmit per multicast.
+		fan, err := core.NewFanout(eps[a], conns...)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.Groups[a].UseFanout(fan)
 	}
 	return m, nil
 }

@@ -458,6 +458,28 @@ func (e *Endpoint) SendBatch(dst Addr, datagrams [][]byte) (sent int, err error)
 	return len(datagrams), nil
 }
 
+// SendBatchTo transmits the datagrams to their per-index destinations in
+// slice order, implementing the engine's BatchToTransport contract (the
+// group-fanout shape: one burst, every datagram to a different member).
+// Each datagram runs the same per-message fault and delay machinery as
+// Send, in slice order, so the rng draw sequence — the deterministic-
+// replay contract — is identical whether a fanout was batched or sent
+// one member at a time. Injected loss is not an error.
+func (e *Endpoint) SendBatchTo(dsts []Addr, datagrams [][]byte) (sent int, err error) {
+	if len(dsts) != len(datagrams) {
+		return 0, fmt.Errorf("netsim: SendBatchTo: %d dsts for %d datagrams", len(dsts), len(datagrams))
+	}
+	e.net.stats.batchSends.Add(1)
+	for i, d := range datagrams {
+		if err := e.Send(dsts[i], d); err != nil {
+			e.net.stats.batchDatagrams.Add(uint64(i))
+			return i, err
+		}
+	}
+	e.net.stats.batchDatagrams.Add(uint64(len(datagrams)))
+	return len(datagrams), nil
+}
+
 type delivery struct {
 	src     Addr
 	data    *[]byte // pooled; returned after the handler runs

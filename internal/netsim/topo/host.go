@@ -165,6 +165,32 @@ func (h *Host) SendBatch(dst Addr, datagrams [][]byte) (sent int, err error) {
 	return len(datagrams), nil
 }
 
+// SendBatchTo transmits the datagrams to their per-index destinations in
+// slice order — the engine's BatchToTransport contract (group fanout
+// across the topology). Routing, NAT translation, queueing and loss
+// apply to each datagram exactly as in Send, in slice order, preserving
+// the deterministic-replay contract.
+func (h *Host) SendBatchTo(dsts []Addr, datagrams [][]byte) (sent int, err error) {
+	if len(dsts) != len(datagrams) {
+		return 0, fmt.Errorf("topo: SendBatchTo: %d dsts for %d datagrams", len(dsts), len(datagrams))
+	}
+	h.inet.mu.Lock()
+	h.inet.stats.BatchSends++
+	h.inet.mu.Unlock()
+	for i, d := range datagrams {
+		if err := h.Send(dsts[i], d); err != nil {
+			h.inet.mu.Lock()
+			h.inet.stats.BatchDatagrams += uint64(i)
+			h.inet.mu.Unlock()
+			return i, err
+		}
+	}
+	h.inet.mu.Lock()
+	h.inet.stats.BatchDatagrams += uint64(len(datagrams))
+	h.inet.mu.Unlock()
+	return len(datagrams), nil
+}
+
 // delivery and the inbox heap mirror netsim's: (arrival, seq) ordering
 // with concurrent deliveries queueing behind the goroutine already
 // draining, so handlers observe arrival order even when timer callbacks

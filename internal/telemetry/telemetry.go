@@ -54,6 +54,10 @@ const (
 	// OpOneWay is the stamp layer's one-way latency estimate (only
 	// meaningful when both endpoints share a clock).
 	OpOneWay
+	// OpFanout is one group-fanout operation: the shared template build,
+	// the per-member stamping pass, and the batched transmit
+	// (core.Fanout.Send).
+	OpFanout
 
 	// NumOps bounds the Op space; it is the histogram array dimension.
 	NumOps
@@ -61,7 +65,7 @@ const (
 
 // opNames index by Op for reports and JSON.
 var opNames = [NumOps]string{
-	"send_pre", "post", "deliver", "flush", "probe", "oneway",
+	"send_pre", "post", "deliver", "flush", "probe", "oneway", "fanout",
 }
 
 // String names the operation.

@@ -18,6 +18,11 @@ func (t *Transport) sendBatchWire(ua *net.UDPAddr, datagrams [][]byte) (int, err
 	return t.sendBatchLoop(ua, datagrams)
 }
 
+// sendBatchToWire degrades to one resolve + WriteToUDP per datagram.
+func (t *Transport) sendBatchToWire(dsts []string, datagrams [][]byte) (int, error) {
+	return t.sendBatchToLoop(dsts, datagrams)
+}
+
 // readLoop is the plain per-datagram receive loop.
 func (t *Transport) readLoop() {
 	defer close(t.done)

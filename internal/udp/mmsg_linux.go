@@ -68,6 +68,14 @@ type sendState struct {
 	sa4  syscall.RawSockaddrInet4
 	sa6  syscall.RawSockaddrInet6
 
+	// Per-slot sockaddrs for the scattered-destination path
+	// (SendBatchTo): a fanout burst points every header at a different
+	// member, so each slot needs its own target (sa4/sa6 above serve
+	// the single-destination path, where one sockaddr is shared by the
+	// whole chunk).
+	sa4s [mmsgBatch]syscall.RawSockaddrInet4
+	sa6s [mmsgBatch]syscall.RawSockaddrInet6
+
 	t        *Transport
 	off, cnt int // header window the next write step transmits
 	n        int // headers the kernel accepted
@@ -178,6 +186,134 @@ func (st *sendState) sockaddr(t *Transport, ua *net.UDPAddr) (name *byte, namele
 		return (*byte)(unsafe.Pointer(&st.sa6)), syscall.SizeofSockaddrInet6, true
 	}
 	return nil, 0, false
+}
+
+// sockaddrAt encodes ua into slot i's raw sockaddr, the per-header
+// variant of sockaddr for the scattered-destination path. ok is false
+// for shapes the raw path cannot encode; the caller then sends that
+// datagram through the portable loop.
+func (st *sendState) sockaddrAt(t *Transport, ua *net.UDPAddr, i int) (name *byte, namelen uint32, ok bool) {
+	if ua.Zone != "" {
+		return nil, 0, false
+	}
+	ip4 := ua.IP.To4()
+	switch t.family {
+	case syscall.AF_INET:
+		if ip4 == nil {
+			return nil, 0, false
+		}
+		st.sa4s[i] = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&st.sa4s[i].Port))
+		p[0], p[1] = byte(ua.Port>>8), byte(ua.Port)
+		copy(st.sa4s[i].Addr[:], ip4)
+		return (*byte)(unsafe.Pointer(&st.sa4s[i])), syscall.SizeofSockaddrInet4, true
+	case syscall.AF_INET6:
+		ip16 := ua.IP.To16()
+		if ip16 == nil {
+			return nil, 0, false
+		}
+		st.sa6s[i] = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		p := (*[2]byte)(unsafe.Pointer(&st.sa6s[i].Port))
+		p[0], p[1] = byte(ua.Port>>8), byte(ua.Port)
+		copy(st.sa6s[i].Addr[:], ip16)
+		return (*byte)(unsafe.Pointer(&st.sa6s[i])), syscall.SizeofSockaddrInet6, true
+	}
+	return nil, 0, false
+}
+
+// sendBatchToWire drains a scattered-destination burst with sendmmsg,
+// chunking at mmsgBatch headers per call, each header carrying its own
+// sockaddr. No UDP_SEGMENT coalescing: a super-datagram has one
+// destination, and a fanout's datagrams each have their own. The kernel
+// may transmit a prefix of a chunk; the loop resumes at the first unsent
+// datagram, so sent is always an exact prefix count. Datagrams whose
+// resolved address the raw path cannot encode (zoned IPv6, a v6 target
+// on a v4 socket) are sent through WriteToUDP at their position in the
+// burst, preserving slice order.
+func (t *Transport) sendBatchToWire(dsts []string, datagrams [][]byte) (int, error) {
+	rc := t.rc
+	if rc == nil {
+		return t.sendBatchToLoop(dsts, datagrams)
+	}
+	st := sendPool.Get().(*sendState)
+	defer putSendState(st)
+	st.t = t
+
+	sent := 0
+	for sent < len(datagrams) {
+		// Build one chunk of plain headers, one sockaddr per slot.
+		k := 0
+		var stopErr error
+		loopFallback := false
+		for k < mmsgBatch && sent+k < len(datagrams) {
+			d := datagrams[sent+k]
+			if len(d) > MaxDatagram {
+				stopErr = oversizedErr(len(d))
+				break
+			}
+			ua, err := t.resolve(dsts[sent+k])
+			if err != nil {
+				stopErr = err
+				break
+			}
+			name, namelen, ok := st.sockaddrAt(t, ua, k)
+			if !ok {
+				loopFallback = true
+				break
+			}
+			iov := &st.iovs[k]
+			if len(d) > 0 {
+				iov.Base = &d[0]
+			} else {
+				iov.Base = &zeroByte
+			}
+			iov.Len = uint64(len(d))
+			hdr := &st.hdrs[k].hdr
+			hdr.Name = name
+			hdr.Namelen = namelen
+			hdr.Iov = iov
+			hdr.Iovlen = 1
+			hdr.Control = nil
+			hdr.Controllen = 0
+			st.segs[k] = 1
+			k++
+		}
+		// Transmit the chunk built so far.
+		done := 0
+		for done < k {
+			st.off, st.cnt = done, k-done
+			if werr := rc.Write(st.writeFn); werr != nil {
+				return sent, werr
+			}
+			n, errno := st.n, st.errno
+			if errno != 0 {
+				return sent, fmt.Errorf("udp: sendmmsg: %w", errno)
+			}
+			if n <= 0 {
+				return sent, errors.New("udp: sendmmsg made no progress")
+			}
+			sent += n
+			done += n
+		}
+		if stopErr != nil {
+			return sent, stopErr
+		}
+		if loopFallback {
+			// The datagram at index sent has an address shape only the
+			// stdlib can encode; send it alone, in order, and resume the
+			// vectorized path after it.
+			ua, err := t.resolve(dsts[sent])
+			if err != nil {
+				return sent, err
+			}
+			t.stats.txSyscalls.Add(1)
+			if _, err := t.conn.WriteToUDP(datagrams[sent], ua); err != nil {
+				return sent, err
+			}
+			sent++
+		}
+	}
+	return sent, nil
 }
 
 // oversizedErr builds the wrapped ErrDatagramTooLarge every send path

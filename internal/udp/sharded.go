@@ -123,6 +123,30 @@ func (s *Sharded) SendBatch(dst string, datagrams [][]byte) (sent int, err error
 	return s.queue(dst).SendBatch(dst, datagrams)
 }
 
+// SendBatchTo transmits a scattered-destination burst, the engine's
+// BatchToTransport contract. Destinations are hashed to their queues
+// exactly as Send would, and consecutive same-queue runs ride one
+// vectorized call each, so a sorted fanout over few queues keeps most of
+// the syscall amortization.
+func (s *Sharded) SendBatchTo(dsts []string, datagrams [][]byte) (sent int, err error) {
+	if len(dsts) != len(datagrams) {
+		return 0, fmt.Errorf("udp: SendBatchTo: %d dsts for %d datagrams", len(dsts), len(datagrams))
+	}
+	for sent < len(dsts) {
+		q := s.queue(dsts[sent])
+		j := sent + 1
+		for j < len(dsts) && s.queue(dsts[j]) == q {
+			j++
+		}
+		n, err := q.SendBatchTo(dsts[sent:j], datagrams[sent:j])
+		sent += n
+		if err != nil {
+			return sent, err
+		}
+	}
+	return sent, nil
+}
+
 // Offload reports queue 0's offload state (every queue probes the same
 // kernel, so the verdicts agree; a per-queue sticky GSO fallback can
 // diverge, which per-queue Stats expose).

@@ -401,6 +401,50 @@ func (t *Transport) SendBatch(dst string, datagrams [][]byte) (sent int, err err
 	return sent, err
 }
 
+// SendBatchTo transmits the datagrams to their per-index destinations in
+// order — the engine's BatchToTransport contract (the group-fanout
+// shape: one burst, every datagram bound for a different member). On
+// Linux one sendmmsg system call carries up to 64 datagrams, each header
+// with its own sockaddr; elsewhere it degrades to a WriteToUDP loop.
+// sent is the prefix transmitted and a non-nil error describes the
+// datagram at index sent. Destinations are resolved through the cached
+// peer table, one lookup per datagram.
+func (t *Transport) SendBatchTo(dsts []string, datagrams [][]byte) (sent int, err error) {
+	if len(dsts) != len(datagrams) {
+		return 0, fmt.Errorf("udp: SendBatchTo: %d dsts for %d datagrams", len(dsts), len(datagrams))
+	}
+	if len(datagrams) == 0 {
+		return 0, nil
+	}
+	t.stats.batchSends.Add(1)
+	sent, err = t.sendBatchToWire(dsts, datagrams)
+	t.stats.batchDatagrams.Add(uint64(sent))
+	if err != nil {
+		t.tel.Load().Event(telemetry.EventFault, 0, causeSendError)
+	}
+	return sent, err
+}
+
+// sendBatchToLoop is the portable scattered-destination batch body: one
+// resolve + WriteToUDP per datagram. The vectorized platform also falls
+// back to it when the raw socket is unreachable.
+func (t *Transport) sendBatchToLoop(dsts []string, datagrams [][]byte) (int, error) {
+	for i, d := range datagrams {
+		if len(d) > MaxDatagram {
+			return i, fmt.Errorf("%w: %d > %d", ErrDatagramTooLarge, len(d), MaxDatagram)
+		}
+		ua, err := t.resolve(dsts[i])
+		if err != nil {
+			return i, err
+		}
+		t.stats.txSyscalls.Add(1)
+		if _, err := t.conn.WriteToUDP(d, ua); err != nil {
+			return i, err
+		}
+	}
+	return len(datagrams), nil
+}
+
 // sendBatchLoop is the portable batch body: one WriteToUDP per datagram.
 // The vectorized platforms also fall back to it for address shapes the
 // raw path cannot encode (zoned IPv6).

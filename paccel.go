@@ -84,6 +84,18 @@ type (
 	// the UDP transport; see ListenShardedUDP and DESIGN.md §13), with
 	// per-queue receive stats folded into EndpointStats.
 	MultiQueueTransport = core.MultiQueueTransport
+	// BatchToTransport is the optional scattered-destination extension
+	// of Transport: one SendBatchTo call transmits a burst where every
+	// datagram has its own destination (Linux sendmmsg with per-message
+	// addresses on the UDP transport), the contract under group fanout.
+	// All three shipped transports implement it.
+	BatchToTransport = core.BatchToTransport
+	// Fanout is the zero-allocation group-multicast engine: one
+	// pre-processing pass builds a template datagram shared by every
+	// member, a stamping pass fills only the member-specific predicted
+	// headers, and the whole fanout transmits as one batch. See
+	// DESIGN.md §16.
+	Fanout = core.Fanout
 	// StackBuilder constructs a connection's protocol stack.
 	StackBuilder = core.StackBuilder
 	// IdentInfo is a parsed incoming connection identification.
@@ -244,6 +256,11 @@ var (
 	_ BatchTransport = (*udp.Transport)(nil)
 	_ BatchTransport = (*netsim.Endpoint)(nil)
 	_ BatchTransport = (*FaultTransport)(nil)
+
+	_ BatchToTransport = (*udp.Transport)(nil)
+	_ BatchToTransport = (*netsim.Endpoint)(nil)
+	_ BatchToTransport = (*FaultTransport)(nil)
+	_ BatchToTransport = (*udp.Sharded)(nil)
 )
 
 // The sharded UDP listener must satisfy every engine contract its
@@ -258,6 +275,14 @@ var (
 
 // NewEndpoint attaches a Protocol Accelerator endpoint to a transport.
 func NewEndpoint(cfg Config) (*Endpoint, error) { return core.NewEndpoint(cfg) }
+
+// NewFanout creates a group-multicast engine over connections of one
+// endpoint: Send builds the datagram and runs the send filter once,
+// stamps each member's predicted headers, and transmits the whole group
+// as one batch.
+func NewFanout(ep *Endpoint, conns ...*Conn) (*Fanout, error) {
+	return core.NewFanout(ep, conns...)
+}
 
 // DefaultStack is the paper's four-layer configuration: checksum,
 // fragmentation, 16-entry sliding window, connection identification.
