@@ -71,6 +71,34 @@ func BenchmarkRoundTripDoubledWindow(b *testing.B) {
 	pingPongBench(b, experiments.PairOptions{Build: experiments.DoubledWindowStack}, 8)
 }
 
+// BenchmarkSecureRoundTrip is the encrypted channel on the fast path:
+// 8-byte round trips with AES-GCM sealing every frame in both
+// directions (DESIGN.md §17). Compare against BenchmarkRoundTrip for
+// the end-to-end cost of the crypto.
+func BenchmarkSecureRoundTrip(b *testing.B) {
+	pingPongBench(b, experiments.PairOptions{Build: experiments.SecureLeanStack}, 8)
+}
+
+// BenchmarkSecureAllocs is the encrypted steady-state send: seal in the
+// send filter, flush, far-side authenticated open and delivery — the
+// perf gate holds this at 0 allocs/op.
+func BenchmarkSecureAllocs(b *testing.B) {
+	p, err := experiments.NewPair(experiments.PairOptions{Build: experiments.SecureLeanStack})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.B.OnDeliver(func([]byte) {})
+	payload := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.A.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRoundTripBaseline is the §1 comparison: the same four layers
 // run traditionally (synchronous layered processing, per-layer padded
 // headers, identification on every message).

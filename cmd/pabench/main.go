@@ -80,7 +80,15 @@
 //
 // Usage:
 //
-//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|fanout|telemetry|churn|topo] [-quick] [-sim-only] [-json file] [-seed n]
+// The secure experiment measures the AES-GCM encryption layer riding the
+// fast path: one send + synchronous authenticated deliver through the
+// encrypted stack versus the checksum stack, across payload sizes, plus
+// the steady-state alloc count (acceptance: 0) and the cost of one
+// rekey; -json writes its machine-readable baseline (BENCH_10.json).
+//
+// Usage:
+//
+//	pabench [-exp all|table4|fig4|fig5|layers|headers|baseline|concurrency|faults|recovery|batch|gso|fanout|telemetry|churn|topo|secure] [-quick] [-sim-only] [-json file] [-seed n]
 package main
 
 import (
@@ -94,11 +102,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, fanout, telemetry, churn, topo")
+	exp := flag.String("exp", "all", "experiment to run: all, table4, fig4, fig5, layers, headers, baseline, serverload, hiccups, concurrency, faults, recovery, batch, gso, fanout, telemetry, churn, topo, secure")
 	quick := flag.Bool("quick", false, "use short real-measurement runs")
 	simOnly := flag.Bool("sim-only", false, "skip the real-hardware measurements")
 	csv := flag.Bool("csv", false, "with -exp fig5: emit plot-ready CSV instead of the table")
-	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, fanout, telemetry, churn, or topo: also write the machine-readable baseline to this file")
+	jsonPath := flag.String("json", "", "with -exp concurrency, faults, recovery, batch, gso, fanout, telemetry, churn, topo, or secure: also write the machine-readable baseline to this file")
 	seed := flag.Int64("seed", 0, "with -exp faults, recovery, churn, or topo: schedule seed (0 = fixed default)")
 	flag.Parse()
 
@@ -222,10 +230,29 @@ func main() {
 		any = true
 		topoExp(*quick, *seed, *jsonPath)
 	}
+	if run("secure") {
+		any = true
+		if *simOnly {
+			fmt.Println("secure: skipped (real-hardware measurement only)")
+		} else {
+			secureExp(*quick, *jsonPath)
+		}
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+func secureExp(quick bool, jsonPath string) {
+	res, err := experiments.Secure(quick)
+	fail(err)
+	fmt.Println(experiments.SecureReport(res))
+	if jsonPath != "" {
+		out, err := experiments.SecureJSON(res)
+		fail(err)
+		fail(os.WriteFile(jsonPath, []byte(out), 0o644))
 	}
 }
 

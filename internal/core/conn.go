@@ -133,6 +133,13 @@ type Conn struct {
 	st     *stack.Stack
 	schema *header.Schema
 	ident  Identifier
+	// Secure-layer hooks, discovered structurally in newConn (nil without
+	// an encryption layer): aead backs the Seal/Open filter ops, resealer
+	// re-seals SendRaw replays sealed under a pre-rekey epoch, terminal
+	// turns nonce exhaustion into a hard (non-recoverable) failure.
+	aead     filter.AEAD
+	resealer resealerLayer
+	terminal terminalLayer
 	// identIdx is the identification layer's stack index; delivery
 	// verdicts issued above it (at < identIdx) passed identification,
 	// the safety gate for address migration.
@@ -219,6 +226,22 @@ type releaseItem struct {
 	m    *message.Msg
 }
 
+// The engine discovers an encryption layer structurally, the same way it
+// hands out telemetry recorders: a layer that implements filter.AEAD is
+// installed into every pooled filter environment (backing the Seal/Open
+// filter ops); one that implements resealerLayer is given each frame
+// SendRaw retransmits, so replays of frames sealed before a rekey are
+// re-sealed under the current key; one that implements terminalLayer can
+// declare an unrecoverable error (nonce exhaustion) that hard-fails the
+// connection instead of riding the recovery engine.
+type resealerLayer interface {
+	Reseal(m *message.Msg) error
+}
+
+type terminalLayer interface {
+	TerminalErr() error
+}
+
 // newConn wires up a connection: builds the stack, compiles the schema and
 // filters, allocates prediction buffers, and primes the layers.
 func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
@@ -238,6 +261,15 @@ func newConn(ep *Endpoint, spec PeerSpec) (*Conn, error) {
 	for _, l := range ls {
 		if id, ok := l.(Identifier); ok {
 			c.ident = id
+		}
+		if a, ok := l.(filter.AEAD); ok {
+			c.aead = a
+		}
+		if r, ok := l.(resealerLayer); ok {
+			c.resealer = r
+		}
+		if t, ok := l.(terminalLayer); ok {
+			c.terminal = t
 		}
 	}
 	if c.ident == nil {
@@ -375,9 +407,10 @@ func (c *Conn) getEnv() *filter.Env {
 	if n := len(c.envFree); n > 0 {
 		e := c.envFree[n-1]
 		c.envFree = c.envFree[:n-1]
+		e.AEAD = c.aead
 		return e
 	}
-	return &filter.Env{}
+	return &filter.Env{AEAD: c.aead}
 }
 
 // putEnv recycles an environment once no queued op references it.
@@ -496,6 +529,14 @@ func (c *Conn) Send(payload []byte) error {
 	c.settle()
 	c.wakeIdle()
 	c.mu.Unlock()
+	if err != nil && c.terminal != nil {
+		if terr := c.terminal.TerminalErr(); terr != nil {
+			// The layer declared the failure unrecoverable (nonce space
+			// exhausted): recovery would rekey and mask the guard.
+			c.hardFail(terr)
+			return terr
+		}
+	}
 	c.flushTx()
 	return err
 }
@@ -1372,13 +1413,30 @@ func (c *Conn) SendControl(from stack.Layer, m *message.Msg, opts stack.ControlO
 	return nil
 }
 
-// SendRaw implements stack.Services: retransmit a fully built frame.
+// SendRaw implements stack.Services: retransmit a fully built frame. With
+// an encryption layer in the stack the frame may have been sealed under an
+// epoch that a session resumption has since retired; the layer's Reseal
+// re-seals it under the current key (a fresh nonce — GCM forbids reuse)
+// before it hits the wire.
 func (c *Conn) SendRaw(m *message.Msg, includeConnID bool) error {
 	if c.closed {
 		return ErrConnClosed
 	}
 	if c.failCause != nil {
 		return c.failCause
+	}
+	if c.resealer != nil {
+		if err := c.resealer.Reseal(m); err != nil {
+			if c.terminal != nil {
+				if terr := c.terminal.TerminalErr(); terr != nil {
+					// Cannot hardFail here: SendRaw is called with c.mu
+					// held (window resend path). The next Send surfaces
+					// the terminal error and fails the connection.
+					return terr
+				}
+			}
+			return err
+		}
 	}
 	c.transmitAs(m, includeConnID)
 	c.stats.Retransmits++

@@ -56,9 +56,13 @@ type Fanout struct {
 	owners []*Conn
 	// failIdx are gather indices the transport refused this send,
 	// ascending; errs collects every per-member failure (never only the
-	// first — a partial fanout must be visible in full).
+	// first — a partial fanout must be visible in full). leave gathers
+	// members found closed mid-fanout: a Close racing an in-flight Send
+	// is a departure, not a failure — it rides the view change (the
+	// member is dropped from the group) instead of surfacing an error.
 	failIdx []int
 	errs    []error
+	leave   []*Conn
 
 	// tenv is the template's filter environment. Send runs under f.mu, so
 	// one reusable environment suffices.
@@ -178,6 +182,7 @@ func (f *Fanout) Send(payload []byte) error {
 	}
 	f.errs = f.errs[:0]
 	f.failIdx = f.failIdx[:0]
+	f.leave = f.leave[:0]
 
 	// Template build: the geometry (class sizes, filter program) is fixed
 	// at stack construction and identical across the endpoint's members,
@@ -185,6 +190,21 @@ func (f *Fanout) Send(payload []byte) error {
 	// the template's regions via the environment — no connection state —
 	// so no lock is needed here.
 	tc := f.conns[0]
+	tc.mu.Lock()
+	stateful := !allZero(tc.send.predict[header.MsgSpec])
+	tc.mu.Unlock()
+	if stateful {
+		// A layer predicts message-specific bytes — an encryption
+		// layer's sealed flag. Its filter pass mutates per-connection
+		// crypto state (a nonce burn under the template connection's
+		// key), and the sealed bytes would be wrong for every other
+		// member anyway: no shared template can exist. Skip the build
+		// entirely and run the full per-member path.
+		err := f.sendPerMember(payload)
+		f.processLeaves()
+		f.telEnd(t0)
+		return err
+	}
 	tmpl := message.New(payload)
 	tmpl.Push(1)[0] = packSingle
 	gos := tmpl.Push(tc.gosN)
@@ -204,8 +224,10 @@ func (f *Fanout) Send(payload []byte) error {
 		// payload headed for fragmentation): no shared template exists, so
 		// every member takes its own full send.
 		tmpl.Free()
+		err := f.sendPerMember(payload)
+		f.processLeaves()
 		f.telEnd(t0)
-		return f.sendPerMember(payload)
+		return err
 	}
 
 	protoOff := 0
@@ -222,8 +244,13 @@ func (f *Fanout) Send(payload []byte) error {
 	for _, c := range f.conns {
 		c.mu.Lock()
 		if err := c.sendOpen(); err != nil {
+			closed := c.closed
 			c.mu.Unlock()
-			f.memberErr(c, err)
+			if closed {
+				f.leave = append(f.leave, c)
+			} else {
+				f.memberErr(c, err)
+			}
 			continue
 		}
 		c.drain(&c.send)
@@ -356,6 +383,7 @@ func (f *Fanout) Send(payload []byte) error {
 		c.flushTx()
 	}
 
+	f.processLeaves()
 	f.telEnd(t0)
 	return f.joinErrs()
 }
@@ -365,10 +393,33 @@ func (f *Fanout) Send(payload []byte) error {
 func (f *Fanout) sendPerMember(payload []byte) error {
 	for _, c := range f.conns {
 		if err := c.Send(payload); err != nil {
+			if errors.Is(err, ErrConnClosed) && c.State() == StateClosed {
+				f.leave = append(f.leave, c)
+				continue
+			}
 			f.memberErr(c, err)
 		}
 	}
 	return f.joinErrs()
+}
+
+// processLeaves drops the members a Send found closed — departure rides
+// the view change instead of repeating a per-member error every
+// multicast. Caller holds f.mu.
+func (f *Fanout) processLeaves() {
+	if len(f.leave) == 0 {
+		return
+	}
+	for _, gone := range f.leave {
+		for i, have := range f.conns {
+			if have == gone {
+				f.conns = append(f.conns[:i], f.conns[i+1:]...)
+				break
+			}
+		}
+	}
+	f.leave = f.leave[:0]
+	f.members.Set(int64(len(f.conns)))
 }
 
 // memberErr records one member's failure without aborting the fanout.

@@ -229,7 +229,7 @@ func TestFanoutBacklogWhenWindowClosed(t *testing.T) {
 	}
 }
 
-// TestFanoutCollectsAllErrors closes two members mid-group and checks
+// TestFanoutCollectsAllErrors fails two members mid-group and checks
 // one Send reports both failures while the healthy members still get the
 // message.
 func TestFanoutCollectsAllErrors(t *testing.T) {
@@ -239,25 +239,61 @@ func TestFanoutCollectsAllErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.clk.Advance(time.Second)
-	s.conns[1].Close()
-	s.conns[3].Close()
+	s.conns[1].Fail(errors.New("induced"))
+	s.conns[3].Fail(errors.New("induced"))
 	err := s.fan.Send([]byte("after"))
 	if err == nil {
-		t.Fatal("expected an error for the closed members")
+		t.Fatal("expected an error for the failed members")
 	}
-	if !errors.Is(err, ErrConnClosed) {
-		t.Fatalf("err = %v, want ErrConnClosed in the chain", err)
+	if !errors.Is(err, ErrConnFailed) {
+		t.Fatalf("err = %v, want ErrConnFailed in the chain", err)
 	}
 	msg := err.Error()
 	for _, m := range []int{1, 3} {
 		if !strings.Contains(msg, memberName(m)) {
-			t.Fatalf("error %q does not name closed member %s", msg, memberName(m))
+			t.Fatalf("error %q does not name failed member %s", msg, memberName(m))
 		}
+	}
+	// Failed members stay in the group: failure is the application's to
+	// act on (close or recover), unlike a deliberate Close.
+	if s.fan.Len() != members {
+		t.Fatalf("Len = %d after member failures, want %d", s.fan.Len(), members)
 	}
 	s.clk.Advance(time.Second)
 	for _, m := range []int{0, 2} {
 		sk := s.sinks[m]
 		if sk.count() != 2 || string(sk.get(1)) != "after" {
+			t.Fatalf("healthy member %d delivered %d messages", m, sk.count())
+		}
+	}
+}
+
+// TestFanoutClosedMemberRidesViewChange closes two members mid-group: a
+// Close racing an in-flight fanout is a departure, so the next Send
+// drops them from the group silently — no per-member error — and the
+// healthy members still get the message (the PR 9 churn leftover).
+func TestFanoutClosedMemberRidesViewChange(t *testing.T) {
+	const members = 4
+	s := newStar(t, members, nil, netsim.Config{})
+	if err := s.fan.Send([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	s.clk.Advance(time.Second)
+	s.conns[1].Close()
+	s.conns[3].Close()
+	if err := s.fan.Send([]byte("after")); err != nil {
+		t.Fatalf("Send over closed members: %v, want nil (leave rides the view change)", err)
+	}
+	if s.fan.Len() != members-2 {
+		t.Fatalf("Len = %d after leaves, want %d", s.fan.Len(), members-2)
+	}
+	if err := s.fan.Send([]byte("steady")); err != nil {
+		t.Fatalf("Send after view change: %v", err)
+	}
+	s.clk.Advance(time.Second)
+	for _, m := range []int{0, 2} {
+		sk := s.sinks[m]
+		if sk.count() != 3 || string(sk.get(2)) != "steady" {
 			t.Fatalf("healthy member %d delivered %d messages", m, sk.count())
 		}
 	}

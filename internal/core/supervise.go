@@ -117,6 +117,24 @@ func (c *Conn) Fail(cause error) {
 	c.failLocked(cause)
 }
 
+// hardFail moves the connection straight to the terminal Failed state,
+// bypassing the recovery engine — for causes recovery must not mask. A
+// secure layer whose nonce space is exhausted is the canonical case: a
+// resume would rekey and reset the counter, hiding a guard that exists
+// precisely to refuse further traffic. Idempotent; no-op when already
+// closed or failed.
+func (c *Conn) hardFail(cause error) {
+	c.mu.Lock()
+	if c.closed || c.failCause != nil {
+		c.mu.Unlock()
+		return
+	}
+	if c.recovering {
+		c.cancelRecoveryLocked()
+	}
+	c.failLocked(cause)
+}
+
 // failLocked is the terminal half of Fail. Caller holds c.mu;
 // failLocked releases it, flushes queued transmissions, invokes the
 // OnConnFail callback (never under the lock — it may call back into

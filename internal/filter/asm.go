@@ -95,7 +95,7 @@ func Assemble(src string, resolve FieldResolver) (*Program, error) {
 			case Abort:
 				b.Abort(v)
 			}
-		case PushField, PopField:
+		case PushField, PopField, Seal, Open:
 			a, err := arg()
 			if err != nil {
 				return nil, err
@@ -104,10 +104,15 @@ func Assemble(src string, resolve FieldResolver) (*Program, error) {
 			if !ok {
 				return nil, fmt.Errorf("filter: line %d: unknown field %q", lineno+1, a)
 			}
-			if op == PushField {
+			switch op {
+			case PushField:
 				b.PushField(h)
-			} else {
+			case PopField:
 				b.PopField(h)
+			case Seal:
+				b.Seal(h)
+			case Open:
+				b.Open(h)
 			}
 		case Digest:
 			a, err := arg()

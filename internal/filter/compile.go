@@ -125,6 +125,24 @@ func compileInstr(in *Instr) step {
 			}
 			return 0, false, stack
 		}
+	case Seal, Open:
+		h := in.Field
+		open := in.Op == Open
+		return func(env *Env, stack []uint64) (int, bool, []uint64) {
+			if env.AEAD == nil {
+				return StatusFault, true, stack
+			}
+			var s int
+			if open {
+				s = env.AEAD.Open(env, h)
+			} else {
+				s = env.AEAD.Seal(env, h)
+			}
+			if s != 0 {
+				return s, true, stack
+			}
+			return 0, false, stack
+		}
 	default:
 		op := in.Op
 		return func(env *Env, stack []uint64) (int, bool, []uint64) {

@@ -81,6 +81,17 @@ const (
 	// Abort pops the top entry; if it is non-zero the program finishes
 	// with status Arg, otherwise execution continues.
 	Abort
+	// Seal invokes the environment's AEAD to encrypt the payload in
+	// place and write the authentication tag into the message-specific
+	// blob field identified by Field. A non-zero AEAD result finishes
+	// the program with that status; a missing AEAD is a fault. Like
+	// Digest, it is a "customized instruction" (§3.3): the tag is
+	// message-specific information only a filter can fill in.
+	Seal
+	// Open is Seal's delivery-path dual: verify the tag in Field against
+	// the payload and decrypt in place, finishing with the AEAD's status
+	// when it is non-zero (conventionally StatusDrop on a forgery).
+	Open
 )
 
 var opNames = map[Op]string{
@@ -91,6 +102,7 @@ var opNames = map[Op]string{
 	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
 	Not: "not", Dup: "dup", Swap: "swap",
 	Return: "return", Abort: "abort",
+	Seal: "seal", Open: "open",
 }
 
 // String returns the assembler mnemonic for the op.
@@ -124,6 +136,8 @@ func (o Op) stackEffect() (pops, pushes int) {
 		return 0, 0
 	case Abort:
 		return 1, 0
+	case Seal, Open:
+		return 0, 0
 	}
 	return 0, 0
 }

@@ -20,7 +20,7 @@ func (in Instr) String() string {
 	switch in.Op {
 	case PushConst, Return, Abort:
 		return fmt.Sprintf("%s %d", in.Op, in.Arg)
-	case PushField, PopField:
+	case PushField, PopField, Seal, Open:
 		return fmt.Sprintf("%s %s", in.Op, in.Field.Name())
 	case Digest:
 		return fmt.Sprintf("%s %s", in.Op, DigestName(in.Dig))
@@ -136,6 +136,24 @@ func (b *Builder) PopField(h header.Handle) int {
 	return b.emit(Instr{Op: PopField, Field: h})
 }
 
+// Seal emits an AEAD seal: encrypt the payload in place, auth tag into
+// blob field h.
+func (b *Builder) Seal(h header.Handle) int {
+	if !h.Valid() {
+		b.fail("Seal with invalid handle")
+	}
+	return b.emit(Instr{Op: Seal, Field: h})
+}
+
+// Open emits an AEAD open: verify the tag in blob field h and decrypt the
+// payload in place.
+func (b *Builder) Open(h header.Handle) int {
+	if !h.Valid() {
+		b.fail("Open with invalid handle")
+	}
+	return b.emit(Instr{Op: Open, Field: h})
+}
+
 // Arith emits a binary arithmetic/comparison/stack op or Not/Dup/Swap.
 func (b *Builder) Arith(op Op) int {
 	switch {
@@ -178,7 +196,7 @@ func (b *Builder) Build() (*Program, error) {
 				return nil, fmt.Errorf("filter: instruction %d: unregistered digest %d", i, in.Dig)
 			}
 		}
-		if (in.Op == PushField || in.Op == PopField) && !in.Field.Valid() {
+		if (in.Op == PushField || in.Op == PopField || in.Op == Seal || in.Op == Open) && !in.Field.Valid() {
 			return nil, fmt.Errorf("filter: instruction %d: invalid field handle", i)
 		}
 		if depth < pops {

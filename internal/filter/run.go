@@ -5,6 +5,16 @@ import (
 	"paccel/internal/header"
 )
 
+// AEAD is the engine-supplied authenticated-encryption surface behind the
+// Seal and Open ops. Seal encrypts env.Payload in place and writes the
+// auth tag into the blob field tag; Open verifies and decrypts. Both
+// return a filter status: 0 continues execution, anything else finishes
+// the program with that status.
+type AEAD interface {
+	Seal(env *Env, tag header.Handle) int
+	Open(env *Env, tag header.Handle) int
+}
+
 // Env is the execution environment of a packet filter run: the four class
 // header regions of the message being sent or delivered, the payload, and
 // the byte order of the message's aligned fields.
@@ -15,6 +25,9 @@ type Env struct {
 	// Time is the engine-supplied timestamp pushed by the PushTime op,
 	// conventionally microseconds on the connection's clock.
 	Time uint64
+	// AEAD backs the Seal/Open ops; programs containing them fault when
+	// it is nil.
+	AEAD AEAD
 }
 
 // hdr returns the class header region a field lives in.
@@ -74,6 +87,20 @@ func (p *Program) Run(env *Env) int {
 			stack = stack[:len(stack)-1]
 			if v != 0 {
 				return int(in.Arg)
+			}
+		case Seal:
+			if env.AEAD == nil {
+				return StatusFault
+			}
+			if s := env.AEAD.Seal(env, in.Field); s != 0 {
+				return s
+			}
+		case Open:
+			if env.AEAD == nil {
+				return StatusFault
+			}
+			if s := env.AEAD.Open(env, in.Field); s != 0 {
+				return s
 			}
 		default:
 			a := stack[len(stack)-2]

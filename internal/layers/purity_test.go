@@ -34,6 +34,7 @@ func purityCases(t *testing.T) []struct {
 		{"heartbeat", &Heartbeat{Interval: 1 << 30}},
 		{"stamp", NewStamp()},
 		{"ident", newIdent()},
+		{"secure", NewSecure([]byte("purity key"), []byte("a"), []byte("b"), 1, 2)},
 	}
 }
 

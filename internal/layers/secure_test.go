@@ -1,0 +1,332 @@
+package layers
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"paccel/internal/bits"
+	"paccel/internal/filter"
+	"paccel/internal/header"
+	"paccel/internal/message"
+	"paccel/internal/stack"
+)
+
+// securePair builds the two ends of an encrypted channel: mirrored
+// identities, one shared master key, independent harnesses over an
+// identical single-layer stack (so the schema geometry matches and a
+// message sealed by one side parses on the other).
+func securePair(t *testing.T) (*Secure, *Secure, *harness) {
+	t.Helper()
+	key := []byte("a pre-shared master key")
+	a := NewSecure(key, []byte("alice"), []byte("bob"), 1, 2)
+	b := NewSecure(key, []byte("bob"), []byte("alice"), 2, 1)
+	ha := newHarness(t, a)
+	newHarness(t, b) // primes b over an identical schema
+	return a, b, ha
+}
+
+// seal runs a's send filter (the Seal op) over a fresh message.
+func seal(t *testing.T, a *Secure, h *harness, payload []byte) (*message.Msg, *filter.Env) {
+	t.Helper()
+	m, env := h.env(payload)
+	t.Cleanup(m.Free)
+	env.AEAD = a
+	if st := h.sendF.Run(env); st != filter.StatusOK {
+		t.Fatalf("send filter status = %d", st)
+	}
+	return m, env
+}
+
+// open runs b's delivery filter (the Open op) over the same wire bytes.
+func open(b *Secure, h *harness, env *filter.Env) int {
+	env.AEAD = b
+	return h.recvF.Run(env)
+}
+
+func TestSecureRoundTripOnWire(t *testing.T) {
+	a, b, ha := securePair(t)
+	payload := []byte("the plaintext payload")
+	_, env := seal(t, a, ha, payload)
+	if bytes.Equal(env.Payload, payload) {
+		t.Fatal("payload not encrypted on the wire")
+	}
+	if st := open(b, ha, env); st != filter.StatusOK {
+		t.Fatalf("open status = %d, want OK", st)
+	}
+	if !bytes.Equal(env.Payload, payload) {
+		t.Fatalf("decrypted payload = %q, want %q", env.Payload, payload)
+	}
+	if a.Stats().Sealed != 1 || b.Stats().Opened != 1 {
+		t.Fatalf("stats: sealed=%d opened=%d", a.Stats().Sealed, b.Stats().Opened)
+	}
+}
+
+// TestSecureCounterNonces checks consecutive seals burn consecutive
+// counters and decrypt independently, in any arrival order — the nonce
+// travels in the protocol-specific header.
+func TestSecureCounterNonces(t *testing.T) {
+	a, b, ha := securePair(t)
+	_, env1 := seal(t, a, ha, []byte("first"))
+	_, env2 := seal(t, a, ha, []byte("second"))
+	n1 := a.nonce.Read(env1.Hdr[header.ProtoSpec], env1.Order)
+	n2 := a.nonce.Read(env2.Hdr[header.ProtoSpec], env2.Order)
+	if n1 != 0 || n2 != 1 {
+		t.Fatalf("nonces = %d, %d, want 0, 1", n1, n2)
+	}
+	if st := open(b, ha, env2); st != filter.StatusOK {
+		t.Fatalf("open second: status %d", st)
+	}
+	if st := open(b, ha, env1); st != filter.StatusOK {
+		t.Fatalf("open first: status %d", st)
+	}
+}
+
+// TestSecureTamperDetection flips bits across every byte of the frame —
+// payload, tag, nonce, sealed flag, epoch — and demands a drop each time.
+func TestSecureTamperDetection(t *testing.T) {
+	a, b, ha := securePair(t)
+	payload := []byte("integrity matters")
+	m, env := seal(t, a, ha, payload)
+	frame := m.Bytes()
+	pristine := append([]byte(nil), frame...)
+	for i := range frame {
+		for _, bit := range []byte{0x01, 0x80} {
+			frame[i] ^= bit
+			if st := open(b, ha, env); st != filter.StatusDrop {
+				t.Fatalf("byte %d bit %#x: open status = %d, want Drop", i, bit, st)
+			}
+			copy(frame, pristine)
+		}
+	}
+	if st := open(b, ha, env); st != filter.StatusOK {
+		t.Fatalf("pristine frame after tamper sweep: status %d", st)
+	}
+	if !bytes.Equal(env.Payload, payload) {
+		t.Fatalf("payload = %q, want %q", env.Payload, payload)
+	}
+}
+
+// TestSecureWrongKeyDrops checks a peer holding a different master key
+// cannot authenticate anything.
+func TestSecureWrongKeyDrops(t *testing.T) {
+	a, _, ha := securePair(t)
+	c := NewSecure([]byte("a different master key"), []byte("bob"), []byte("alice"), 2, 1)
+	newHarness(t, c)
+	_, env := seal(t, a, ha, []byte("secret"))
+	if st := open(c, ha, env); st != filter.StatusDrop {
+		t.Fatalf("open under wrong key: status %d, want Drop", st)
+	}
+	if c.Stats().AuthFails != 1 {
+		t.Fatalf("AuthFails = %d, want 1", c.Stats().AuthFails)
+	}
+}
+
+// TestSecureRekeyAdoption resumes the sender (epoch bump) and checks the
+// receiver adopts the new epoch on the first frame that authenticates
+// under it, while still accepting a straggler from the retired epoch.
+func TestSecureRekeyAdoption(t *testing.T) {
+	a, b, ha := securePair(t)
+	_, envOld := seal(t, a, ha, []byte("before rekey"))
+
+	a.Resume()
+	if st := a.Stats(); st.Rekeys != 1 || st.SendEpoch != 2 {
+		t.Fatalf("after Resume: %+v", st)
+	}
+	_, envNew := seal(t, a, ha, []byte("after rekey"))
+	if got := uint16(a.epoch.Read(envNew.Hdr[header.Gossip], envNew.Order)); got != 2 {
+		t.Fatalf("post-rekey frame epoch = %d, want 2", got)
+	}
+
+	if st := open(b, ha, envNew); st != filter.StatusOK {
+		t.Fatalf("open post-rekey frame: status %d", st)
+	}
+	if st := b.Stats(); st.Adoptions != 1 || st.RecvEpoch != 2 {
+		t.Fatalf("receiver did not adopt: %+v", st)
+	}
+	// Straggler sealed under the retired epoch still authenticates.
+	if st := open(b, ha, envOld); st != filter.StatusOK {
+		t.Fatalf("open straggler: status %d", st)
+	}
+	if !bytes.Equal(envOld.Payload, []byte("before rekey")) {
+		t.Fatalf("straggler payload = %q", envOld.Payload)
+	}
+}
+
+// TestSecureReseal checks the retransmit path: a frame sealed before a
+// rekey is re-sealed in place under the current epoch with a fresh
+// counter, and the peer decrypts it.
+func TestSecureReseal(t *testing.T) {
+	a, b, ha := securePair(t)
+	payload := []byte("replayed after rekey")
+	m, env := seal(t, a, ha, payload)
+
+	a.Resume()
+	if err := a.Reseal(m); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Reseals != 1 {
+		t.Fatalf("Reseals = %d, want 1", a.Stats().Reseals)
+	}
+	if got := uint16(a.epoch.Read(env.Hdr[header.Gossip], env.Order)); got != 2 {
+		t.Fatalf("resealed frame epoch = %d, want 2", got)
+	}
+	if st := open(b, ha, env); st != filter.StatusOK {
+		t.Fatalf("open resealed frame: status %d", st)
+	}
+	if !bytes.Equal(env.Payload, payload) {
+		t.Fatalf("payload = %q, want %q", env.Payload, payload)
+	}
+
+	// Same-epoch reseal is a no-op: retransmitting identical bytes keeps
+	// the (key, nonce, plaintext) triple unchanged.
+	m2, _ := seal(t, a, ha, []byte("steady"))
+	before := append([]byte(nil), m2.Bytes()...)
+	if err := a.Reseal(m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m2.Bytes(), before) {
+		t.Fatal("same-epoch reseal modified the frame")
+	}
+}
+
+// TestSecureNonceExhaustion drives the counter into its limit and checks
+// the terminal guard: Seal faults, TerminalErr reports, and Resume
+// refuses to mask the failure with a rekey.
+func TestSecureNonceExhaustion(t *testing.T) {
+	a := NewSecure([]byte("k"), []byte("alice"), []byte("bob"), 1, 2)
+	a.NonceLimit = 2
+	h := newHarness(t, a)
+	for i := 0; i < 2; i++ {
+		seal(t, a, h, []byte("ok"))
+	}
+	m, env := h.env([]byte("one too many"))
+	t.Cleanup(m.Free)
+	env.AEAD = a
+	if st := h.sendF.Run(env); st != filter.StatusFault {
+		t.Fatalf("seal past limit: status %d, want Fault", st)
+	}
+	if !errors.Is(a.TerminalErr(), ErrNonceExhausted) {
+		t.Fatalf("TerminalErr = %v", a.TerminalErr())
+	}
+	a.Resume()
+	if st := a.Stats(); st.SendEpoch != 1 || a.TerminalErr() == nil {
+		t.Fatalf("Resume masked the terminal guard: %+v", st)
+	}
+	if err := a.Reseal(m); !errors.Is(err, ErrNonceExhausted) {
+		t.Fatalf("Reseal after exhaustion = %v", err)
+	}
+}
+
+// TestSecureRejectsEmptyKey checks Init refuses a missing key — Prime
+// cannot fail, so the check must happen at stack construction time.
+func TestSecureRejectsEmptyKey(t *testing.T) {
+	s := NewSecure(nil, []byte("a"), []byte("b"), 1, 2)
+	err := s.Init(&stack.InitContext{
+		Schema:     header.New(),
+		SendFilter: filter.NewBuilder(),
+		RecvFilter: filter.NewBuilder(),
+	})
+	if err == nil {
+		t.Fatal("Init with empty key succeeded")
+	}
+}
+
+// Fuzz scaffolding: testing.F cannot drive the *testing.T harness, so the
+// pair is initialized by hand over a shared schema and filter programs.
+var (
+	fuzzSchema   *header.Schema
+	fuzzSend     *filter.Program
+	fuzzRecv     *filter.Program
+	fuzzA, fuzzB *Secure
+)
+
+func fuzzInit(f *testing.F) {
+	f.Helper()
+	key := []byte("fuzz master key")
+	fuzzA = NewSecure(key, []byte("alice"), []byte("bob"), 1, 2)
+	fuzzB = NewSecure(key, []byte("bob"), []byte("alice"), 2, 1)
+	// Each side gets its own stack/schema/filters; the geometries are
+	// identical because the layer composition is.
+	for _, s := range []*Secure{fuzzA, fuzzB} {
+		schema := header.New()
+		sb, rb := filter.NewBuilder(), filter.NewBuilder()
+		st, err := stack.NewStack(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := st.Init(&stack.InitContext{Schema: schema, SendFilter: sb, RecvFilter: rb}); err != nil {
+			f.Fatal(err)
+		}
+		if err := schema.Compile(); err != nil {
+			f.Fatal(err)
+		}
+		if fuzzSend, err = sb.Build(); err != nil {
+			f.Fatal(err)
+		}
+		if fuzzRecv, err = rb.Build(); err != nil {
+			f.Fatal(err)
+		}
+		ctx := &stack.Context{Order: bits.BigEndian}
+		for c := header.Class(0); c < header.NumClasses; c++ {
+			ctx.PredictSend[c] = make([]byte, schema.Size(c))
+			ctx.PredictRecv[c] = make([]byte, schema.Size(c))
+		}
+		s.Prime(ctx)
+		fuzzSchema = schema
+	}
+}
+
+// fuzzSeal seals a payload with fuzzA over the hand-built schema.
+func fuzzSeal(t *testing.T, payload []byte) ([]byte, *filter.Env) {
+	t.Helper()
+	m := message.New(payload)
+	t.Cleanup(m.Free)
+	env := &filter.Env{Payload: m.Payload(), Order: bits.BigEndian}
+	env.Hdr[header.Gossip] = m.Push(fuzzSchema.Size(header.Gossip))
+	env.Hdr[header.MsgSpec] = m.Push(fuzzSchema.Size(header.MsgSpec))
+	env.Hdr[header.ProtoSpec] = m.Push(fuzzSchema.Size(header.ProtoSpec))
+	env.AEAD = fuzzA
+	if st := fuzzSend.Run(env); st != filter.StatusOK {
+		t.Fatalf("send filter status = %d", st)
+	}
+	return m.Bytes(), env
+}
+
+// FuzzSecureOnWire seals real traffic and fuzzes byte corruptions across
+// the frame: any change — tag, nonce, epoch, sealed flag, or ciphertext —
+// must drop, and the unmodified frame must keep opening cleanly.
+func FuzzSecureOnWire(f *testing.F) {
+	fuzzInit(f)
+
+	// Corpus seeded at the interesting offsets of a sealed frame: the
+	// nonce (proto), the sealed flag and tag (msg), the epoch (gossip),
+	// and the ciphertext, plus a pristine frame and an empty payload.
+	f.Add([]byte("seed payload"), uint16(0), byte(0))     // pristine
+	f.Add([]byte("seed payload"), uint16(0), byte(1))     // nonce
+	f.Add([]byte("seed payload"), uint16(8), byte(0x80))  // sealed flag / tag
+	f.Add([]byte("seed payload"), uint16(24), byte(0xff)) // tag tail
+	f.Add([]byte("seed payload"), uint16(25), byte(2))    // epoch
+	f.Add([]byte("tampered ciphertext"), uint16(30), byte(4))
+	f.Add([]byte{}, uint16(5), byte(9))
+
+	f.Fuzz(func(t *testing.T, payload []byte, idx uint16, xor byte) {
+		frame, env := fuzzSeal(t, payload)
+		pos := int(idx) % len(frame)
+		if xor != 0 {
+			frame[pos] ^= xor
+		}
+		env.AEAD = fuzzB
+		st := fuzzRecv.Run(env)
+		if xor == 0 {
+			if st != filter.StatusOK {
+				t.Fatalf("pristine frame dropped: status %d", st)
+			}
+			if !bytes.Equal(env.Payload, payload) {
+				t.Fatalf("payload = %q, want %q", env.Payload, payload)
+			}
+		} else if st != filter.StatusDrop {
+			t.Fatalf("corrupted frame (byte %d ^ %#x) not dropped: status %d", pos, xor, st)
+		}
+	})
+}

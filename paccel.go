@@ -170,6 +170,11 @@ var (
 	// 65507-byte payload ceiling; the fragmentation layer normally
 	// splits messages well below it.
 	ErrDatagramTooLarge = udp.ErrDatagramTooLarge
+	// ErrNonceExhausted reports a secure channel whose per-epoch nonce
+	// space is spent: the connection hard-fails (no recovery — a resume
+	// would rekey and mask the guard). Wrapped by ErrConnFailed in
+	// Conn.Err.
+	ErrNonceExhausted = layers.ErrNonceExhausted
 )
 
 // Shed policies (AdmissionConfig.Policy).
@@ -418,6 +423,45 @@ type StackOptions struct {
 	Stamp func(oneWay time.Duration)
 	// DoubleWindow stacks the window layer twice (the §5 experiment).
 	DoubleWindow bool
+	// Secure replaces the checksum layer with AES-GCM encryption — the
+	// GCM tag subsumes the checksum's integrity check. Both sides must
+	// use the same key; see UseSecure and DESIGN.md §17. Nil keeps the
+	// stack plaintext.
+	Secure *SecureConfig
+}
+
+// SecureConfig configures the encrypted-channel layer (layers.Secure):
+// AES-GCM with traffic keys derived from a pre-shared master key bound
+// to the connection identification, a predicted counter nonce, the tag
+// as a message-specific field, and rekeying on session resumption.
+type SecureConfig struct {
+	// Key is the pre-shared master key. Required; any non-zero length
+	// (it is hashed into per-direction traffic keys, not used directly).
+	Key []byte
+	// NonceLimit caps the per-epoch nonce counter; reaching it fails
+	// the connection terminally with ErrNonceExhausted. 0 selects a
+	// safe default (2^62).
+	NonceLimit uint64
+}
+
+// UseSecure is shorthand for enabling the secure channel with a
+// pre-shared key: BuildStack(paccel.StackOptions{Secure: paccel.UseSecure(key)}).
+func UseSecure(key []byte) *SecureConfig { return &SecureConfig{Key: key} }
+
+// SecureStats are the secure layer's counters (seals, opens, auth
+// failures, rekeys, epoch adoptions); retrieve them via ConnSecureStats.
+type SecureStats = layers.SecureStats
+
+// ConnSecureStats returns the secure layer's counters for a connection
+// built with StackOptions.Secure, and whether such a layer exists.
+// Snapshot while the connection is quiescent.
+func ConnSecureStats(c *Conn) (SecureStats, bool) {
+	for _, l := range c.Layers() {
+		if s, ok := l.(*layers.Secure); ok {
+			return s.Stats(), true
+		}
+	}
+	return SecureStats{}, false
 }
 
 // BuildStack returns a StackBuilder assembling the paper's stack with the
@@ -430,12 +474,25 @@ func BuildStack(opts StackOptions) StackBuilder {
 			st.OnSample = opts.Stamp
 			ls = append(ls, st)
 		}
-		ls = append(ls, layers.NewChksum())
+		if opts.Secure == nil {
+			ls = append(ls, layers.NewChksum())
+		}
 		frag := layers.NewFrag()
 		if opts.FragThreshold > 0 {
 			frag.Threshold = opts.FragThreshold
 		}
 		ls = append(ls, frag)
+		if opts.Secure != nil {
+			// Below frag: the send filter's oversize guard must abort
+			// before Seal burns a nonce on a message headed for
+			// fragmentation (each fragment is then sealed individually).
+			// Above the window: Resume rekeys before the window replays
+			// its unacked frames, so replays re-seal under the new epoch.
+			sec := layers.NewSecure(opts.Secure.Key,
+				spec.LocalID, spec.RemoteID, spec.LocalPort, spec.RemotePort)
+			sec.NonceLimit = opts.Secure.NonceLimit
+			ls = append(ls, sec)
+		}
 		w := layers.NewWindow()
 		w.Size = opts.WindowSize
 		w.AdaptiveRTO = opts.AdaptiveRTO
